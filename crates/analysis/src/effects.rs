@@ -1,0 +1,205 @@
+//! Side-effect and externals analysis.
+//!
+//! The paper's safety conditions (§3.1, §5.2) require knowing whether a task
+//! (a) computes addresses / control flow only from values visible inside the
+//! task and (b) contains calls that cannot be inlined. This module answers
+//! both questions.
+
+use dae_ir::{FuncId, Function, GlobalId, InstKind, Module, Value};
+use std::collections::HashSet;
+
+/// Summary of a function's interactions with state visible outside it.
+#[derive(Clone, Debug, Default)]
+pub struct EffectSummary {
+    /// Globals read through statically-known bases.
+    pub reads_globals: HashSet<GlobalId>,
+    /// Globals written through statically-known bases.
+    pub writes_globals: HashSet<GlobalId>,
+    /// Loads whose base pointer could not be traced to a global (e.g. a
+    /// pointer argument or a loaded pointer).
+    pub reads_unknown_ptr: bool,
+    /// Stores whose base pointer could not be traced to a global.
+    pub writes_unknown_ptr: bool,
+    /// Direct callees.
+    pub callees: Vec<FuncId>,
+}
+
+impl EffectSummary {
+    /// True if the function performs no stores at all.
+    pub fn is_read_only(&self) -> bool {
+        self.writes_globals.is_empty() && !self.writes_unknown_ptr
+    }
+}
+
+/// Traces a pointer value to the global it is based on, looking through
+/// `ptradd` chains. Returns `None` for argument pointers and loaded pointers.
+pub fn trace_base(func: &Function, mut v: Value) -> Option<GlobalId> {
+    loop {
+        match v {
+            Value::Global(g) => return Some(g),
+            Value::Inst(id) => match &func.inst(id).kind {
+                InstKind::PtrAdd { base, .. } => v = *base,
+                InstKind::Select { then_value, else_value, .. } => {
+                    // Only if both arms share a base.
+                    let a = trace_base(func, *then_value)?;
+                    let b = trace_base(func, *else_value)?;
+                    return if a == b { Some(a) } else { None };
+                }
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+}
+
+/// Computes the [`EffectSummary`] of `func`.
+pub fn summarize(func: &Function) -> EffectSummary {
+    let mut s = EffectSummary::default();
+    func.for_each_placed_inst(|_, inst| {
+        match &func.inst(inst).kind {
+            InstKind::Load { addr } => match trace_base(func, *addr) {
+                Some(g) => {
+                    s.reads_globals.insert(g);
+                }
+                None => s.reads_unknown_ptr = true,
+            },
+            InstKind::Store { addr, .. } => match trace_base(func, *addr) {
+                Some(g) => {
+                    s.writes_globals.insert(g);
+                }
+                None => s.writes_unknown_ptr = true,
+            },
+            InstKind::Call { callee, .. } => s.callees.push(*callee),
+            _ => {}
+        }
+    });
+    s
+}
+
+/// True if inlining every (transitive) call in `func` terminates — i.e. the
+/// call graph reachable from `func` contains no cycle through `func` or any
+/// callee.
+pub fn is_fully_inlinable(module: &Module, func: FuncId) -> bool {
+    // DFS with an on-stack set detects recursion.
+    fn dfs(
+        module: &Module,
+        f: FuncId,
+        on_stack: &mut HashSet<FuncId>,
+        done: &mut HashSet<FuncId>,
+    ) -> bool {
+        if done.contains(&f) {
+            return true;
+        }
+        if !on_stack.insert(f) {
+            return false;
+        }
+        let summary = summarize(module.func(f));
+        for callee in summary.callees {
+            if !dfs(module, callee, on_stack, done) {
+                return false;
+            }
+        }
+        on_stack.remove(&f);
+        done.insert(f);
+        true
+    }
+    dfs(module, func, &mut HashSet::new(), &mut HashSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn summarizes_reads_and_writes() {
+        let mut m = Module::new();
+        let a = m.add_global("a", Type::F64, 8);
+        let b_g = m.add_global("b", Type::F64, 8);
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let pa = b.ptr_add(Value::Global(a), 0i64);
+        let x = b.load(Type::F64, pa);
+        let pb = b.ptr_add(Value::Global(b_g), 8i64);
+        b.store(pb, x);
+        b.ret(None);
+        let f = b.finish();
+        let s = summarize(&f);
+        assert!(s.reads_globals.contains(&a));
+        assert!(s.writes_globals.contains(&b_g));
+        assert!(!s.reads_unknown_ptr);
+        assert!(!s.is_read_only());
+    }
+
+    #[test]
+    fn pointer_args_are_unknown() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], Type::Void);
+        let x = b.load(Type::F64, Value::Arg(0));
+        let _ = x;
+        b.ret(None);
+        let s = summarize(&b.finish());
+        assert!(s.reads_unknown_ptr);
+        assert!(s.is_read_only());
+    }
+
+    #[test]
+    fn loaded_pointer_is_unknown() {
+        let mut m = Module::new();
+        let a = m.add_global("list", Type::Ptr, 8);
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let head = b.load(Type::Ptr, Value::Global(a));
+        let _ = b.load(Type::F64, head);
+        b.ret(None);
+        let s = summarize(&b.finish());
+        assert!(s.reads_globals.contains(&a));
+        assert!(s.reads_unknown_ptr);
+    }
+
+    #[test]
+    fn recursion_blocks_inlining() {
+        let mut m = Module::new();
+        // fn r() { r() }
+        let mut b = FunctionBuilder::new("r", vec![], Type::Void);
+        // FuncId(0) will be r itself (first added function).
+        b.call(FuncId(0), vec![], Type::Void);
+        b.ret(None);
+        let r = m.add_function(b.finish());
+        assert!(!is_fully_inlinable(&m, r));
+    }
+
+    #[test]
+    fn dag_calls_are_inlinable() {
+        let mut m = Module::new();
+        let mut leaf = FunctionBuilder::new("leaf", vec![], Type::Void);
+        leaf.ret(None);
+        let leaf = m.add_function(leaf.finish());
+        let mut mid = FunctionBuilder::new("mid", vec![], Type::Void);
+        mid.call(leaf, vec![], Type::Void);
+        mid.call(leaf, vec![], Type::Void);
+        mid.ret(None);
+        let mid = m.add_function(mid.finish());
+        let mut top = FunctionBuilder::new("top", vec![], Type::Void);
+        top.call(mid, vec![], Type::Void);
+        top.call(leaf, vec![], Type::Void);
+        top.ret(None);
+        let top = m.add_function(top.finish());
+        assert!(is_fully_inlinable(&m, top));
+        assert!(is_fully_inlinable(&m, mid));
+        assert!(is_fully_inlinable(&m, leaf));
+    }
+
+    #[test]
+    fn select_of_same_base_traces() {
+        let mut m = Module::new();
+        let a = m.add_global("a", Type::F64, 16);
+        let mut b = FunctionBuilder::new("f", vec![Type::Bool], Type::Void);
+        let p1 = b.ptr_add(Value::Global(a), 0i64);
+        let p2 = b.ptr_add(Value::Global(a), 64i64);
+        let p = b.select(Value::Arg(0), p1, p2);
+        let _ = b.load(Type::F64, p);
+        b.ret(None);
+        let f = b.finish();
+        let s = summarize(&f);
+        assert!(s.reads_globals.contains(&a));
+        assert!(!s.reads_unknown_ptr);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dead-code elimination, including dead block parameters.
+//!
+//! The paper's step 6 (§5.2.2): *"discard all unmarked instructions.
+//! Followed by dead code elimination, this step removes unnecessary
+//! computations and branches."* After the slicer drops loads/stores, large
+//! chains of address arithmetic and loop-carried state become dead; this
+//! pass removes them, including loop-carried block parameters whose only use
+//! was feeding themselves around the back edge.
+
+use dae_ir::{BlockId, Function, InstId, Value};
+use std::collections::HashSet;
+
+/// Removes instructions whose results are unused and that have no side
+/// effects. Returns `true` if anything was removed.
+pub fn eliminate_dead_insts(func: &mut Function) -> bool {
+    // Liveness over instructions and block parameters.
+    let mut live_insts: HashSet<InstId> = HashSet::new();
+    let mut live_params: HashSet<(BlockId, u32)> = HashSet::new();
+    let mut work: Vec<Value> = Vec::new();
+
+    let touch = |v: Value, work: &mut Vec<Value>| {
+        if !v.is_const() {
+            work.push(v);
+        }
+    };
+
+    // Roots: side-effecting instructions and terminator conditions/returns.
+    // Edge arguments are *not* roots: they are live only if the target param
+    // is live.
+    for bb in func.block_ids() {
+        for &inst in &func.block(bb).insts {
+            if func.inst(inst).kind.has_side_effects() {
+                live_insts.insert(inst);
+                func.inst(inst).kind.for_each_operand(|v| touch(v, &mut work));
+            }
+        }
+        match func.terminator(bb) {
+            dae_ir::Terminator::Branch { cond, .. } => touch(*cond, &mut work),
+            dae_ir::Terminator::Ret(Some(v)) => touch(*v, &mut work),
+            _ => {}
+        }
+    }
+
+    while let Some(v) = work.pop() {
+        match v {
+            Value::Inst(id) => {
+                if live_insts.insert(id) {
+                    func.inst(id).kind.for_each_operand(|o| touch(o, &mut work));
+                }
+            }
+            Value::BlockParam { block, index } => {
+                if live_params.insert((block, index)) {
+                    // The matching argument on every incoming edge is live.
+                    for pred in func.block_ids().collect::<Vec<_>>() {
+                        if func.block(pred).term.is_none() {
+                            continue;
+                        }
+                        for dest in func.terminator(pred).successors() {
+                            if dest.block == block {
+                                if let Some(a) = dest.args.get(index as usize) {
+                                    touch(*a, &mut work);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut changed = false;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let before = func.block(bb).insts.len();
+        func.block_mut(bb).insts.retain(|i| live_insts.contains(i));
+        changed |= func.block(bb).insts.len() != before;
+    }
+    changed |= remove_dead_params(func, &live_params);
+    changed
+}
+
+/// Drops block parameters not in `live_params`, compacting indices and
+/// rewriting every use and every incoming edge.
+fn remove_dead_params(func: &mut Function, live_params: &HashSet<(BlockId, u32)>) -> bool {
+    // Per-block old-index → new-index maps (None = dropped).
+    let blocks: Vec<BlockId> = func.block_ids().collect();
+    let mut remap: Vec<Vec<Option<u32>>> = Vec::with_capacity(blocks.len());
+    let mut any = false;
+    for &bb in &blocks {
+        let n = func.block(bb).params.len();
+        let mut map = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for i in 0..n {
+            if live_params.contains(&(bb, i as u32)) {
+                map.push(Some(next));
+                next += 1;
+            } else {
+                map.push(None);
+                any = true;
+            }
+        }
+        remap.push(map);
+    }
+    if !any {
+        return false;
+    }
+
+    // Rewrite parameter lists.
+    for (k, &bb) in blocks.iter().enumerate() {
+        let old = func.block(bb).params.clone();
+        let new: Vec<_> = old
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| remap[k][*i].is_some())
+            .map(|(_, t)| *t)
+            .collect();
+        func.block_mut(bb).params = new;
+    }
+
+    // Rewrite uses of surviving params and edge argument lists.
+    let rewrite = |remap: &Vec<Vec<Option<u32>>>, v: Value| -> Value {
+        if let Value::BlockParam { block, index } = v {
+            if let Some(new_index) = remap[block.0 as usize][index as usize] {
+                return Value::BlockParam { block, index: new_index };
+            }
+            // Uses of dead params only survive inside dead instructions,
+            // which have already been removed; edges are rebuilt below.
+        }
+        v
+    };
+    for &bb in &blocks {
+        let insts = func.block(bb).insts.clone();
+        for i in insts {
+            func.inst_mut(i).kind.map_operands(|v| rewrite(&remap, v));
+        }
+        if func.block(bb).term.is_some() {
+            // First drop dead edge args, then renumber param references.
+            let term = func.terminator_mut(bb);
+            for dest in term.successors_mut() {
+                let keep = &remap[dest.block.0 as usize];
+                let mut new_args = Vec::with_capacity(dest.args.len());
+                for (i, a) in dest.args.iter().enumerate() {
+                    if keep.get(i).copied().flatten().is_some() {
+                        new_args.push(*a);
+                    }
+                }
+                dest.args = new_args;
+            }
+            term.map_operands(|v| rewrite(&remap, v));
+        }
+    }
+    true
+}
+
+/// Runs [`eliminate_dead_insts`] to a fixpoint (param removal can expose
+/// newly-dead instructions and vice versa).
+pub fn dce_fixpoint(func: &mut Function) -> bool {
+    let mut changed = false;
+    while eliminate_dead_insts(func) {
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_ir::{verify_function, FunctionBuilder, Type};
+
+    #[test]
+    fn removes_unused_arithmetic() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::I64);
+        let used = b.iadd(Value::Arg(0), 1i64);
+        let _dead = b.imul(Value::Arg(0), 100i64);
+        let _dead2 = b.imul(Value::Arg(0), 200i64);
+        b.ret(Some(used));
+        let mut f = b.finish();
+        assert!(dce_fixpoint(&mut f));
+        verify_function(&f, None).unwrap();
+        assert_eq!(f.placed_inst_count(), 1);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut m = dae_ir::Module::new();
+        let g = m.add_global("g", Type::I64, 1);
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let a = b.ptr_add(Value::Global(g), 0i64);
+        b.store(a, 7i64);
+        b.ret(None);
+        let mut f = b.finish();
+        dce_fixpoint(&mut f);
+        verify_function(&f, None).unwrap();
+        assert_eq!(f.placed_inst_count(), 2); // ptradd + store
+    }
+
+    #[test]
+    fn removes_dead_loop_carried_param() {
+        // A loop that carries an accumulator nobody reads after the loop.
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+        let _sums = b.counted_loop_carried(
+            Value::i64(0),
+            Value::Arg(0),
+            Value::i64(1),
+            vec![Value::i64(0)],
+            |b, i, c| vec![b.iadd(c[0], i)],
+        );
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(dce_fixpoint(&mut f));
+        verify_function(&f, None).unwrap();
+        // The accumulator param and its add are gone; the IV machinery stays.
+        let total_params: usize =
+            f.block_ids().map(|bb| f.block(bb).params.len()).sum();
+        assert_eq!(total_params, 1, "only the IV should remain");
+        let mut adds = 0;
+        f.for_each_placed_inst(|_, i| {
+            adds += matches!(f.inst(i).kind, dae_ir::InstKind::Binary { .. }) as usize;
+        });
+        assert_eq!(adds, 1, "only the IV increment should remain");
+    }
+
+    #[test]
+    fn keeps_live_loop_carried_param() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::I64);
+        let sums = b.counted_loop_carried(
+            Value::i64(0),
+            Value::Arg(0),
+            Value::i64(1),
+            vec![Value::i64(0)],
+            |b, i, c| vec![b.iadd(c[0], i)],
+        );
+        b.ret(Some(sums[0]));
+        let mut f = b.finish();
+        dce_fixpoint(&mut f);
+        verify_function(&f, None).unwrap();
+        let total_params: usize = f.block_ids().map(|bb| f.block(bb).params.len()).sum();
+        assert_eq!(total_params, 3, "IV + carried in header + carried in exit");
+    }
+
+    #[test]
+    fn self_feeding_dead_cycle_is_removed() {
+        // x' = x + 1 carried around the loop, never observed: the classic
+        // case where naive use-counting fails (the param uses itself).
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+        b.counted_loop_carried(
+            Value::i64(0),
+            Value::Arg(0),
+            Value::i64(1),
+            vec![Value::i64(5)],
+            |b, _, c| vec![b.iadd(c[0], 1i64)],
+        );
+        b.ret(None);
+        let mut f = b.finish();
+        dce_fixpoint(&mut f);
+        verify_function(&f, None).unwrap();
+        let total_params: usize = f.block_ids().map(|bb| f.block(bb).params.len()).sum();
+        assert_eq!(total_params, 1);
+    }
+
+    #[test]
+    fn prefetch_is_a_root() {
+        let mut m = dae_ir::Module::new();
+        let g = m.add_global("g", Type::F64, 64);
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+        let addr = b.elem_addr(Value::Global(g), Value::Arg(0), Type::F64);
+        b.prefetch(addr);
+        b.ret(None);
+        let mut f = b.finish();
+        dce_fixpoint(&mut f);
+        assert_eq!(f.placed_inst_count(), 3); // imul + ptradd + prefetch
+    }
+}

@@ -1,0 +1,96 @@
+//! Def-use chains: who uses each SSA value.
+
+use dae_ir::{BlockId, Function, InstId, Value};
+use std::collections::HashMap;
+
+/// A place where a value is used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UseSite {
+    /// Operand of an instruction.
+    Inst(BlockId, InstId),
+    /// Operand of the terminator of a block (condition or edge argument).
+    Term(BlockId),
+}
+
+/// Def-use table for one function. Rebuild after mutating the function.
+#[derive(Clone, Debug, Default)]
+pub struct UseDefs {
+    uses: HashMap<Value, Vec<UseSite>>,
+}
+
+impl UseDefs {
+    /// Computes the table from the placed instructions and terminators of
+    /// `func`.
+    pub fn new(func: &Function) -> Self {
+        let mut uses: HashMap<Value, Vec<UseSite>> = HashMap::new();
+        for bb in func.block_ids() {
+            for &inst in &func.block(bb).insts {
+                func.inst(inst).kind.for_each_operand(|v| {
+                    if !v.is_const() {
+                        uses.entry(v).or_default().push(UseSite::Inst(bb, inst));
+                    }
+                });
+            }
+            if let Some(term) = &func.block(bb).term {
+                term.for_each_operand(|v| {
+                    if !v.is_const() {
+                        uses.entry(v).or_default().push(UseSite::Term(bb));
+                    }
+                });
+            }
+        }
+        UseDefs { uses }
+    }
+
+    /// The use sites of `v` (empty if unused).
+    pub fn uses_of(&self, v: Value) -> &[UseSite] {
+        self.uses.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `v` has no uses.
+    pub fn is_unused(&self, v: Value) -> bool {
+        self.uses_of(v).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn finds_inst_and_terminator_uses() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::I64);
+        let s = b.iadd(Value::Arg(0), 1i64);
+        let t = b.imul(s, 2i64);
+        b.ret(Some(t));
+        let f = b.finish();
+        let ud = UseDefs::new(&f);
+        assert_eq!(ud.uses_of(s).len(), 1);
+        assert!(matches!(ud.uses_of(s)[0], UseSite::Inst(_, _)));
+        assert_eq!(ud.uses_of(t).len(), 1);
+        assert!(matches!(ud.uses_of(t)[0], UseSite::Term(_)));
+        assert_eq!(ud.uses_of(Value::Arg(0)).len(), 1);
+    }
+
+    #[test]
+    fn unused_value_reports_empty() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let dead = b.iadd(1i64, 2i64);
+        b.ret(None);
+        let f = b.finish();
+        let ud = UseDefs::new(&f);
+        assert!(ud.is_unused(dead));
+    }
+
+    #[test]
+    fn edge_args_count_as_uses() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+        b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |_, _| {});
+        b.ret(None);
+        let f = b.finish();
+        let ud = UseDefs::new(&f);
+        // The bound arg0 is used by the header comparison.
+        assert!(!ud.is_unused(Value::Arg(0)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. convex-hull profitability check on/off (`NconvUn <= NOrig`, §5.1),
+//! 2. simplified-CFG conditional elimination on/off (§5.2.2),
+//! 3. per-cache-line prefetch dedup on/off (§5.2.3 extension),
+//! 4. store-address prefetching on/off (§5.2.1 finding),
+//! 5. DVFS transition-latency sweep (§6.1 projection).
+//!
+//! Run: `cargo bench -p dae-bench --bench ablations`
+
+use dae_bench::{print_table, run_variant, write_csv, Row};
+use dae_core::{generate_access, CompilerOptions, Strategy};
+use dae_power::DvfsConfig;
+use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig};
+use dae_workloads::{lbm, libq, lu, Variant};
+
+/// 1. Hull profitability check: with the check, a gapped two-region access
+/// falls back to the skeleton; without it, the generated nest scans the gap.
+fn hull_check() {
+    use dae_ir::{FunctionBuilder, Module, Type, Value};
+    let mut m = Module::new();
+    let a = m.add_global("A", Type::F64, 4096);
+    let mut b = FunctionBuilder::new("gapped", vec![Type::I64], Type::Void);
+    b.set_task();
+    b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |b, i| {
+        let p1 = b.elem_addr(Value::Global(a), i, Type::F64);
+        let v1 = b.load(Type::F64, p1);
+        let far = b.iadd(i, 2000i64);
+        let p2 = b.elem_addr(Value::Global(a), far, Type::F64);
+        let v2 = b.load(Type::F64, p2);
+        let s = b.fadd(v1, v2);
+        b.store(p1, s);
+    });
+    b.ret(None);
+    let task = m.add_function(b.finish());
+
+    let mut rows = Vec::new();
+    for (label, skip) in [("check on (paper)", false), ("check off", true)] {
+        let opts = CompilerOptions { param_hints: vec![64], skip_hull_check: skip, ..Default::default() };
+        let g = generate_access(&m, task, &opts).expect("generated");
+        let (strategy, n_orig, n_conv) = match &g.strategy {
+            Strategy::Polyhedral(s) => (1.0, s.n_orig as f64, s.n_conv_un as f64),
+            Strategy::Skeleton => (0.0, 128.0, 128.0),
+        };
+        rows.push(Row { label: label.into(), values: vec![strategy, n_orig, n_conv] });
+    }
+    let cols = ["polyhedral?", "NOrig", "NconvUn"];
+    print_table("Ablation 1 — convex-hull profitability check (gapped access)", &cols, &rows, 0);
+    write_csv("ablation_hull_check", &cols, &rows);
+}
+
+/// 2. CFG simplification on LBM (obstacle conditional).
+fn cfg_simplify() {
+    let mut rows = Vec::new();
+    for (label, on) in [("simplify on (paper)", true), ("simplify off", false)] {
+        let mut w = lbm::build_sized(256, 128, 4, 1);
+        w.base_options.cfg_simplify = on;
+        w.compile_auto();
+        let r = run_variant(&w, Variant::AutoDae, FreqPolicy::DaeMinMax, DvfsConfig::latency_500ns());
+        rows.push(Row {
+            label: label.into(),
+            values: vec![
+                r.breakdown.access_s * 1e3,
+                r.access_trace.instrs as f64,
+                r.time_s * 1e3,
+                r.edp() * 1e6,
+            ],
+        });
+    }
+    let cols = ["access (ms)", "access instrs", "time (ms)", "EDP (uJ*s)"];
+    print_table("Ablation 2 — §5.2.2 simplified CFG (LBM)", &cols, &rows, 3);
+    write_csv("ablation_cfg_simplify", &cols, &rows);
+}
+
+/// 3. Per-cache-line dedup on the LU polyhedral nests.
+fn line_dedup() {
+    let mut rows = Vec::new();
+    for (label, on) in [("per-element (paper auto)", false), ("per-line (§5.2.3 ext)", true)] {
+        let mut w = lu::build_sized(96, 16);
+        w.base_options.line_dedup = on;
+        w.compile_auto();
+        let r = run_variant(&w, Variant::AutoDae, FreqPolicy::DaeOptimal, DvfsConfig::latency_500ns());
+        rows.push(Row {
+            label: label.into(),
+            values: vec![r.access_trace.prefetches as f64, r.breakdown.access_s * 1e3, r.edp() * 1e6],
+        });
+    }
+    let cols = ["prefetches", "access (ms)", "EDP (uJ*s)"];
+    print_table("Ablation 3 — per-cache-line prefetch dedup (LU)", &cols, &rows, 3);
+    write_csv("ablation_line_dedup", &cols, &rows);
+}
+
+/// 4. Prefetching store addresses too ("does not improve performance").
+fn store_prefetch() {
+    let mut rows = Vec::new();
+    for (label, on) in [("reads only (paper)", false), ("reads + writes", true)] {
+        let mut w = lbm::build_sized(256, 128, 4, 1);
+        w.base_options.prefetch_writes = on;
+        w.compile_auto();
+        let r = run_variant(&w, Variant::AutoDae, FreqPolicy::DaeOptimal, DvfsConfig::latency_500ns());
+        rows.push(Row {
+            label: label.into(),
+            values: vec![r.access_trace.prefetches as f64, r.time_s * 1e3, r.edp() * 1e6],
+        });
+    }
+    let cols = ["prefetches", "time (ms)", "EDP (uJ*s)"];
+    print_table("Ablation 4 — prefetching write addresses (LBM)", &cols, &rows, 3);
+    write_csv("ablation_store_prefetch", &cols, &rows);
+}
+
+/// 5. DVFS transition-latency sweep on LibQ (the §6.1 projection axis).
+fn dvfs_latency() {
+    let mut w = libq::build_sized(65536, 8192);
+    w.compile_auto();
+    let base = RuntimeConfig::paper_default();
+    let cae = run_workload(&w.module, &w.tasks(Variant::Cae), &base).unwrap();
+    let mut rows = Vec::new();
+    for (label, s) in [
+        ("0 ns (ideal)", 0.0),
+        ("100 ns", 100e-9),
+        ("500 ns (Haswell)", 500e-9),
+        ("2 us", 2e-6),
+        ("10 us (legacy)", 10e-6),
+    ] {
+        let cfg = base
+            .clone()
+            .with_policy(FreqPolicy::DaeOptimal)
+            .with_dvfs(DvfsConfig { transition_s: s });
+        let r = run_workload(&w.module, &w.tasks(Variant::AutoDae), &cfg).unwrap();
+        rows.push(Row {
+            label: label.into(),
+            values: vec![r.time_s / cae.time_s, r.edp() / cae.edp()],
+        });
+    }
+    let cols = ["time vs CAE", "EDP vs CAE"];
+    print_table("Ablation 5 — DVFS transition latency (LibQ, Auto DAE optimal-f)", &cols, &rows, 3);
+    write_csv("ablation_dvfs_latency", &cols, &rows);
+}
+
+fn main() {
+    println!("Design-choice ablations (DESIGN.md §5)");
+    hull_check();
+    cfg_simplify();
+    line_dedup();
+    store_prefetch();
+    dvfs_latency();
+}

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the compiler itself: analysis and access-phase
+//! generation throughput on representative tasks.
+//!
+//! Run: `cargo bench -p dae-bench --bench compiler_perf`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dae_core::{analyze_task, generate_access, CompilerOptions};
+use dae_workloads::{cg, lbm, lu};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let w = lu::build_sized(64, 16);
+    let task = w.module.func_by_name("lu_inner").unwrap();
+    let inlined = dae_analysis::transform::inline_all(&w.module, task).unwrap();
+    c.bench_function("analyze_task/lu_inner", |b| {
+        b.iter(|| black_box(analyze_task(&w.module, black_box(&inlined))))
+    });
+}
+
+fn bench_affine_generation(c: &mut Criterion) {
+    let w = lu::build_sized(64, 16);
+    let task = w.module.func_by_name("lu_inner").unwrap();
+    let opts = CompilerOptions { param_hints: vec![0, 16, 32], ..Default::default() };
+    c.bench_function("generate_access/polyhedral/lu_inner", |b| {
+        b.iter(|| black_box(generate_access(&w.module, black_box(task), &opts)).is_ok())
+    });
+}
+
+fn bench_skeleton_generation(c: &mut Criterion) {
+    let w = lbm::build_sized(64, 32, 8, 1);
+    let task = w.module.func_by_name("lbm_sweep").unwrap();
+    let opts = CompilerOptions::default();
+    c.bench_function("generate_access/skeleton/lbm_sweep", |b| {
+        b.iter(|| black_box(generate_access(&w.module, black_box(task), &opts)).is_ok())
+    });
+    let w2 = cg::build_sized(256, 8, 64, 1);
+    let task2 = w2.module.func_by_name("cg_spmv").unwrap();
+    c.bench_function("generate_access/skeleton/cg_spmv", |b| {
+        b.iter(|| black_box(generate_access(&w2.module, black_box(task2), &opts)).is_ok())
+    });
+}
+
+fn bench_polyhedral_substrate(c: &mut Criterion) {
+    use dae_poly::{convex_hull, LinExpr, Polyhedron, Rat, Space};
+    let s = Space::new(2, 0);
+    let mut p = Polyhedron::universe(s);
+    p.bound_dim(0, 0, 63);
+    p.add_ge0(LinExpr::dim(s, 1).with_dim(0, -1).with_const(-1));
+    p.add_ge0(LinExpr::dim(s, 1).scale(-1).with_const(63));
+    c.bench_function("poly/count_triangle_64", |b| {
+        b.iter(|| black_box(&p).count_integer_points())
+    });
+    let pts: Vec<Vec<Rat>> = (0..64)
+        .map(|k| vec![Rat::from(k % 13), Rat::from((k * 7) % 17)])
+        .collect();
+    c.bench_function("poly/hull_64_points", |b| b.iter(|| convex_hull(2, black_box(&pts))));
+}
+
+fn bench_interpreter_throughput(c: &mut Criterion) {
+    use dae_mem::{CoreCaches, HierarchyConfig, SharedLlc};
+    use dae_sim::{CachePort, Machine, PhaseTrace, Val};
+    let w = lu::build_sized(64, 16);
+    let inner = w.module.func_by_name("lu_inner").unwrap();
+    let hc = HierarchyConfig::default();
+    let mut group = c.benchmark_group("interpreter");
+    // ~70k dynamic instructions per call (16³ inner iterations).
+    group.throughput(criterion::Throughput::Elements(70_000));
+    group.bench_function("lu_inner_16", |b| {
+        let mut llc = SharedLlc::new(hc.llc);
+        let mut core = CoreCaches::new(&hc);
+        let mut machine = Machine::new(&w.module);
+        b.iter(|| {
+            let mut t = PhaseTrace::default();
+            machine
+                .run(
+                    inner,
+                    &[Val::I(0), Val::I(16), Val::I(32)],
+                    &mut CachePort { core: &mut core, llc: &mut llc },
+                    &mut t,
+                )
+                .unwrap();
+            black_box(t.instrs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_analysis, bench_affine_generation, bench_skeleton_generation, bench_polyhedral_substrate, bench_interpreter_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates **Figure 3** — normalized Time (a), Energy (b) and EDP (c)
+//! of CAE (Optimal f.), Manual DAE (Min/Max f., Optimal f.) and Compiler
+//! (Auto) DAE (Min/Max f., Optimal f.), all normalized to coupled execution
+//! at maximum frequency, for the 500 ns DVFS transition latency of §6.1 and
+//! the paper's zero-latency projection.
+//!
+//! Run: `cargo bench -p dae-bench --bench fig3`
+
+use dae_bench::{geomean, print_table, run_variant, write_csv, Row};
+use dae_power::DvfsConfig;
+use dae_runtime::FreqPolicy;
+use dae_workloads::{all_benchmarks, Variant};
+
+const CONFIGS: [(&str, Variant, FreqPolicy); 5] = [
+    ("CAE opt-f", Variant::Cae, FreqPolicy::CoupledOptimal),
+    ("Manual minmax", Variant::ManualDae, FreqPolicy::DaeMinMax),
+    ("Manual opt-f", Variant::ManualDae, FreqPolicy::DaeOptimal),
+    ("Auto minmax", Variant::AutoDae, FreqPolicy::DaeMinMax),
+    ("Auto opt-f", Variant::AutoDae, FreqPolicy::DaeOptimal),
+];
+
+fn run_scenario(latency_label: &str, dvfs: DvfsConfig) {
+    let columns: Vec<&str> = CONFIGS.iter().map(|(l, _, _)| *l).collect();
+    let mut time_rows = Vec::new();
+    let mut energy_rows = Vec::new();
+    let mut edp_rows = Vec::new();
+
+    for mut w in all_benchmarks() {
+        w.compile_auto();
+        let base = run_variant(&w, Variant::Cae, FreqPolicy::CoupledMax, dvfs);
+        let mut t = Vec::new();
+        let mut e = Vec::new();
+        let mut x = Vec::new();
+        for (_, variant, policy) in CONFIGS {
+            let r = run_variant(&w, variant, policy, dvfs);
+            t.push(r.time_s / base.time_s);
+            e.push(r.energy_j / base.energy_j);
+            x.push(r.edp() / base.edp());
+        }
+        time_rows.push(Row { label: w.name.to_string(), values: t });
+        energy_rows.push(Row { label: w.name.to_string(), values: e });
+        edp_rows.push(Row { label: w.name.to_string(), values: x });
+    }
+
+    for rows in [&mut time_rows, &mut energy_rows, &mut edp_rows] {
+        let n = rows[0].values.len();
+        let gm: Vec<f64> =
+            (0..n).map(|c| geomean(rows.iter().map(|r| r.values[c]))).collect();
+        rows.push(Row { label: "G.Mean".to_string(), values: gm });
+    }
+
+    print_table(
+        &format!("Figure 3(a) — Time, normalized to CAE @ fmax [{latency_label}]"),
+        &columns,
+        &time_rows,
+        3,
+    );
+    print_table(
+        &format!("Figure 3(b) — Energy, normalized [{latency_label}]"),
+        &columns,
+        &energy_rows,
+        3,
+    );
+    print_table(
+        &format!("Figure 3(c) — EDP, normalized [{latency_label}]"),
+        &columns,
+        &edp_rows,
+        3,
+    );
+    let suffix = latency_label.replace(' ', "_");
+    write_csv(&format!("fig3_time_{suffix}"), &columns, &time_rows);
+    write_csv(&format!("fig3_energy_{suffix}"), &columns, &energy_rows);
+    write_csv(&format!("fig3_edp_{suffix}"), &columns, &edp_rows);
+
+    let gm = &edp_rows.last().expect("geomean row").values;
+    println!("\n[{latency_label}] EDP improvement (geomean): Manual opt-f {:.1}%  Auto opt-f {:.1}%",
+        (1.0 - gm[2]) * 100.0,
+        (1.0 - gm[4]) * 100.0
+    );
+    let tm = &time_rows.last().expect("geomean row").values;
+    println!("[{latency_label}] Time penalty (geomean): Manual opt-f {:+.1}%  Auto opt-f {:+.1}%",
+        (tm[2] - 1.0) * 100.0,
+        (tm[4] - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("Figure 3 — DAE vs regular task execution");
+    run_scenario("500ns", DvfsConfig::latency_500ns());
+    run_scenario("0ns", DvfsConfig::instant());
+    println!("\npaper reference @500ns: EDP improvement 23% (Manual) / 25% (Auto), ~4% time penalty");
+    println!("paper reference @0ns:   EDP improvement 25% (Manual) / 29% (Auto), slight time win");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table 1** — application characteristics: affine loops /
+//! total target loops, number of task instances, TA% (access-phase share of
+//! busy time) and TA (average access-phase duration, µs).
+//!
+//! Run: `cargo bench -p dae-bench --bench table1`
+
+use dae_bench::{print_table, write_csv, Row};
+use dae_power::DvfsConfig;
+use dae_runtime::FreqPolicy;
+use dae_workloads::{all_benchmarks, Variant};
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("Table 1: application characteristics (Auto DAE, access @ fmin)");
+    for mut w in all_benchmarks() {
+        w.compile_auto();
+        let map = w.auto_map().expect("compiled");
+        let affine: usize = map.info_of.values().map(|i| i.loops_affine).sum();
+        let total: usize = map.info_of.values().map(|i| i.loops_total).sum();
+        let r = dae_bench::run_variant(
+            &w,
+            Variant::AutoDae,
+            FreqPolicy::DaeMinMax,
+            DvfsConfig::latency_500ns(),
+        );
+        rows.push(Row {
+            label: w.name.to_string(),
+            values: vec![
+                affine as f64,
+                total as f64,
+                w.num_tasks() as f64,
+                r.ta_percent(),
+                r.ta_us(),
+            ],
+        });
+    }
+    let columns = ["affine loops", "total loops", "# tasks", "TA %", "TA (usec)"];
+    print_table("Table 1 — Application characteristics", &columns, &rows, 2);
+    write_csv("table1", &columns, &rows);
+
+    println!(
+        "\npaper reference: LU 3/3 1.83% 6.82us | Chol 3/3 1.80% 6.05us | FFT 0/6 19.24% 30.74us"
+    );
+    println!(
+        "                 LBM 0/1 47.95% 7.90us | LibQ 0/6 47.01% 2.64us | Cigar 0/1 49.27% 5.11us | CG 0/2 42.84% 2.89us"
+    );
+}

@@ -1,0 +1,148 @@
+//! Profile-guided access generation — the paper's stated future work.
+//!
+//! §5.2.2: *"some applications would benefit from the additional or more
+//! precise prefetching of keeping the conditionals. This is likely if
+//! particular conditional-branches are executed for the majority of the
+//! iterations. To address such situations, we could detect the hot path
+//! through profiling and create a specifically tailored access version."*
+//! And §7 lists "employing a profiling step in guiding static
+//! transformations" as future work.
+//!
+//! This module implements that step: [`profile_task`] runs the task's
+//! inlined clone on representative inputs and records per-branch taken
+//! frequencies; [`crate::generate_skeleton_access_profiled`] then keeps
+//! conditionals whose hot arm executes at least
+//! [`HotPathConfig::hot_threshold`] of the time (prefetching the hot arm's
+//! reads) instead of unconditionally dropping them.
+
+use crate::options::RefuseReason;
+use dae_analysis::transform::{compact, inline_all};
+use dae_ir::{FuncId, Function, Module};
+use dae_mem::{CoreCaches, HierarchyConfig, SharedLlc};
+use dae_sim::{BranchProfile, CachePort, Machine, PhaseTrace, Val};
+
+/// Thresholds for hot-path specialisation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HotPathConfig {
+    /// A branch taken at least this often keeps its then-edge in the
+    /// access version.
+    pub hot_threshold: f64,
+}
+
+impl Default for HotPathConfig {
+    fn default() -> Self {
+        HotPathConfig { hot_threshold: 0.9 }
+    }
+}
+
+/// Builds the canonical inlined clone of `task` that both the profiler and
+/// the skeleton generator operate on (block ids must agree between the
+/// two).
+///
+/// # Errors
+///
+/// Refuses recursive tasks, like the rest of the pipeline.
+pub fn inlined_clone(module: &Module, task: FuncId) -> Result<Function, RefuseReason> {
+    let inlined = inline_all(module, task)
+        .map_err(|_| RefuseReason::NonInlinableCall(module.func(task).name.clone()))?;
+    Ok(compact(&inlined))
+}
+
+/// Runs the task's inlined clone on each argument sample, returning the
+/// merged branch profile (keyed by the clone's block ids).
+///
+/// # Errors
+///
+/// Refuses recursive tasks; interpreter traps abort profiling and surface
+/// as [`RefuseReason::NonInlinableCall`]-free panics only in debug — here
+/// they simply produce an empty profile for the offending sample.
+pub fn profile_task(
+    module: &Module,
+    task: FuncId,
+    samples: &[Vec<Val>],
+) -> Result<BranchProfile, RefuseReason> {
+    let clone = inlined_clone(module, task)?;
+    // Execute the clone inside a scratch copy of the module so memory and
+    // callees resolve; profiling must not disturb the caller's state.
+    let mut scratch = module.clone();
+    let clone_id = scratch.add_function(clone);
+
+    let hc = HierarchyConfig::default();
+    let mut llc = SharedLlc::new(hc.llc);
+    let mut core = CoreCaches::new(&hc);
+    let mut machine = Machine::new(&scratch);
+    let mut profile = BranchProfile::default();
+    for args in samples {
+        let mut trace = PhaseTrace::default();
+        // A trapping sample contributes nothing but does not abort the
+        // compile (profiles are advisory).
+        let _ = machine.run_with_profile(
+            clone_id,
+            args,
+            &mut CachePort { core: &mut core, llc: &mut llc },
+            &mut trace,
+            &mut profile,
+        );
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_ir::{CmpOp, FunctionBuilder, Type, Value};
+
+    /// A task whose conditional is almost always taken: data[i] > -1 for
+    /// the generated inputs.
+    fn hot_task(module: &mut Module) -> FuncId {
+        let data = module.add_global_init(dae_ir::GlobalData {
+            name: "data".into(),
+            elem_ty: Type::F64,
+            len: 64,
+            init: dae_ir::GlobalInit::Words(
+                (0..64).map(|k| (if k == 0 { -5.0f64 } else { 1.0 }).to_bits()).collect(),
+            ),
+        });
+        let extra = module.add_global("extra", Type::F64, 64);
+        let out = module.add_global("out", Type::F64, 64);
+        let mut b = FunctionBuilder::new("hot", vec![], Type::Void);
+        b.set_task();
+        b.counted_loop(Value::i64(0), Value::i64(64), Value::i64(1), |b, i| {
+            let da = b.elem_addr(Value::Global(data), i, Type::F64);
+            let d = b.load(Type::F64, da);
+            let c = b.cmp(CmpOp::Gt, d, 0.0f64);
+            b.if_then(c, |b| {
+                let ea = b.elem_addr(Value::Global(extra), i, Type::F64);
+                let e = b.load(Type::F64, ea);
+                let oa = b.elem_addr(Value::Global(out), i, Type::F64);
+                b.store(oa, e);
+            });
+        });
+        b.ret(None);
+        module.add_function(b.finish())
+    }
+
+    #[test]
+    fn profile_counts_hot_branch() {
+        let mut m = Module::new();
+        let task = hot_task(&mut m);
+        let p = profile_task(&m, task, &[vec![]]).expect("profiled");
+        // Exactly one data-dependent conditional; taken 63/64.
+        let hot = p
+            .counts
+            .values()
+            .find(|(t, n)| *t + *n == 64 && *t == 63)
+            .is_some();
+        assert!(hot, "expected a 63/64-taken branch, got {:?}", p.counts);
+    }
+
+    #[test]
+    fn profiling_does_not_mutate_caller_module(){
+        let mut m = Module::new();
+        let task = hot_task(&mut m);
+        let before = m.num_funcs();
+        let _ = profile_task(&m, task, &[vec![]]).unwrap();
+        assert_eq!(m.num_funcs(), before);
+        let _ = task;
+    }
+}

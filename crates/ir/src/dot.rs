@@ -1,0 +1,87 @@
+//! Graphviz (DOT) rendering of a function's control-flow graph.
+//!
+//! Handy while debugging transforms: `dot -Tpng out.dot -o out.png`.
+
+use crate::function::Function;
+use crate::inst::Terminator;
+use crate::module::Module;
+use crate::print::print_function;
+use std::fmt::Write;
+
+/// Renders the CFG of `func` in DOT format; each node shows the block's
+/// instruction count, edges are labelled with their argument count.
+pub fn cfg_to_dot(func: &Function, module: Option<&Module>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for bb in func.block_ids() {
+        let data = func.block(bb);
+        let tag = if bb == func.entry { " (entry)" } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{bb}\" [label=\"{bb}{tag}\\n{} params, {} insts\"];",
+            data.params.len(),
+            data.insts.len()
+        );
+        match &data.term {
+            Some(Terminator::Jump(d)) => {
+                let _ = writeln!(out, "  \"{bb}\" -> \"{}\" [label=\"{}\"];", d.block, d.args.len());
+            }
+            Some(Terminator::Branch { then_dest, else_dest, .. }) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{bb}\" -> \"{}\" [label=\"T/{}\"];",
+                    then_dest.block,
+                    then_dest.args.len()
+                );
+                let _ = writeln!(
+                    out,
+                    "  \"{bb}\" -> \"{}\" [label=\"F/{}\"];",
+                    else_dest.block,
+                    else_dest.args.len()
+                );
+            }
+            Some(Terminator::Ret(_)) => {
+                let _ = writeln!(out, "  \"{bb}\" -> \"ret\" [style=dashed];");
+            }
+            None => {}
+        }
+    }
+    let _ = writeln!(out, "  \"ret\" [shape=plaintext];");
+    // Full text as a comment for convenience.
+    for line in print_function(func, module).lines() {
+        let _ = writeln!(out, "  // {line}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_loop_cfg() {
+        let mut b = FunctionBuilder::new("l", vec![Type::I64], Type::Void);
+        b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |_, _| {});
+        b.ret(None);
+        let f = b.finish();
+        let dot = cfg_to_dot(&f, None);
+        assert!(dot.starts_with("digraph \"l\" {"));
+        assert!(dot.contains("bb0") && dot.contains("bb1"));
+        assert!(dot.contains("-> \"ret\""));
+        assert!(dot.contains("label=\"T/"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn entry_is_marked() {
+        let mut b = FunctionBuilder::new("e", vec![], Type::Void);
+        b.ret(None);
+        let dot = cfg_to_dot(&b.finish(), None);
+        assert!(dot.contains("(entry)"));
+    }
+}

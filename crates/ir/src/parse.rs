@@ -1,0 +1,647 @@
+//! Parser for the textual IR format produced by [`crate::print`].
+//!
+//! The grammar is line-oriented and mirrors the printer exactly, so
+//! `parse_module(&print_module(&m))` round-trips every module this workspace
+//! produces. The parser exists for golden tests and for writing small IR
+//! snippets by hand in integration tests.
+
+use crate::function::Function;
+use crate::inst::{BinOp, BlockCall, CmpOp, InstKind, Terminator, UnOp};
+use crate::module::{GlobalData, GlobalInit, Module};
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, GlobalId, InstId, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_type(line: usize, s: &str) -> Result<Type, ParseError> {
+    match s {
+        "i64" => Ok(Type::I64),
+        "f64" => Ok(Type::F64),
+        "bool" => Ok(Type::Bool),
+        "ptr" => Ok(Type::Ptr),
+        "void" => Ok(Type::Void),
+        other => Err(perr(line, format!("unknown type `{other}`"))),
+    }
+}
+
+fn binop_from_mnemonic(s: &str) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match s {
+        "iadd" => IAdd,
+        "isub" => ISub,
+        "imul" => IMul,
+        "idiv" => IDiv,
+        "irem" => IRem,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "ashr" => AShr,
+        "fadd" => FAdd,
+        "fsub" => FSub,
+        "fmul" => FMul,
+        "fdiv" => FDiv,
+        "fmin" => FMin,
+        "fmax" => FMax,
+        _ => return None,
+    })
+}
+
+fn unop_from_mnemonic(s: &str) -> Option<UnOp> {
+    use UnOp::*;
+    Some(match s {
+        "ineg" => INeg,
+        "fneg" => FNeg,
+        "fsqrt" => FSqrt,
+        "itof" => IToF,
+        "ftoi" => FToI,
+        "ptoi" => PtrToInt,
+        "itop" => IntToPtr,
+        "not" => Not,
+        _ => return None,
+    })
+}
+
+fn cmpop_from_mnemonic(line: usize, s: &str) -> Result<CmpOp, ParseError> {
+    Ok(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        other => return Err(perr(line, format!("unknown cmp predicate `{other}`"))),
+    })
+}
+
+/// Per-function symbol environment built in the first pass.
+struct FuncEnv {
+    blocks: HashMap<String, BlockId>,
+    insts: HashMap<String, InstId>,
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    func_names: HashMap<String, FuncId>,
+    global_names: HashMap<String, GlobalId>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+            .collect();
+        Parser { lines, pos: 0, func_names: HashMap::new(), global_names: HashMap::new() }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn parse_value(&self, env: &FuncEnv, line: usize, tok: &str) -> Result<Value, ParseError> {
+        let tok = tok.trim();
+        if tok == "true" {
+            return Ok(Value::ConstBool(true));
+        }
+        if tok == "false" {
+            return Ok(Value::ConstBool(false));
+        }
+        if let Some(rest) = tok.strip_prefix('@') {
+            if let Some(&g) = self.global_names.get(rest) {
+                return Ok(Value::Global(g));
+            }
+            if let Some(num) = rest.strip_prefix('g').and_then(|n| n.parse::<u32>().ok()) {
+                return Ok(Value::Global(GlobalId(num)));
+            }
+            return Err(perr(line, format!("unknown global `{tok}`")));
+        }
+        if let Some(rest) = tok.strip_prefix("arg") {
+            if let Ok(i) = rest.parse::<u32>() {
+                return Ok(Value::Arg(i));
+            }
+        }
+        if tok.starts_with('v') {
+            if let Some(&id) = env.insts.get(tok) {
+                return Ok(Value::Inst(id));
+            }
+        }
+        // Block params print as `bbNpM`.
+        if tok.starts_with("bb") {
+            if let Some(p) = tok.rfind('p') {
+                let (bname, pidx) = tok.split_at(p);
+                if let (Some(&b), Ok(i)) = (env.blocks.get(bname), pidx[1..].parse::<u32>()) {
+                    return Ok(Value::BlockParam { block: b, index: i });
+                }
+            }
+        }
+        if let Ok(i) = tok.parse::<i64>() {
+            return Ok(Value::ConstI64(i));
+        }
+        if let Ok(f) = tok.parse::<f64>() {
+            return Ok(Value::f64(f));
+        }
+        Err(perr(line, format!("cannot parse value `{tok}`")))
+    }
+
+    fn parse_block_call(&self, env: &FuncEnv, line: usize, tok: &str) -> Result<BlockCall, ParseError> {
+        let tok = tok.trim();
+        if let Some(open) = tok.find('(') {
+            let name = &tok[..open];
+            let inner = tok[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| perr(line, format!("unterminated edge args in `{tok}`")))?;
+            let block = *env
+                .blocks
+                .get(name)
+                .ok_or_else(|| perr(line, format!("unknown block `{name}`")))?;
+            let mut args = Vec::new();
+            for a in split_top_level(inner) {
+                args.push(self.parse_value(env, line, a)?);
+            }
+            Ok(BlockCall::with_args(block, args))
+        } else {
+            let block = *env
+                .blocks
+                .get(tok)
+                .ok_or_else(|| perr(line, format!("unknown block `{tok}`")))?;
+            Ok(BlockCall::new(block))
+        }
+    }
+}
+
+/// Splits a comma-separated list that may contain parenthesised sub-lists.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Parses a module in the textual format of [`crate::print::print_module`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let text = "
+/// global g0 a : 8 x f64
+///
+/// task fn touch() {
+/// bb0:
+///   v0: ptr = ptradd @g0, 16
+///   prefetch v0
+///   ret
+/// }
+/// ";
+/// let module = dae_ir::parse::parse_module(text)?;
+/// assert_eq!(module.num_funcs(), 1);
+/// # Ok::<(), dae_ir::parse::ParseError>(())
+/// ```
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut p = Parser::new(text);
+    let mut module = Module::new();
+
+    // Pass 0: pre-scan function names so calls can reference later functions.
+    {
+        let mut order = 0u32;
+        for &(ln, l) in &p.lines {
+            if let Some(rest) = l.strip_prefix("task fn ").or_else(|| l.strip_prefix("fn ")) {
+                let name = rest
+                    .split('(')
+                    .next()
+                    .ok_or_else(|| perr(ln, "malformed fn header"))?
+                    .trim()
+                    .to_string();
+                p.func_names.insert(name, FuncId(order));
+                order += 1;
+            }
+        }
+    }
+
+    while let Some((ln, l)) = p.peek() {
+        if l.starts_with("global ") {
+            p.next();
+            // global g0 NAME : LEN x TY
+            let rest = &l["global ".len()..];
+            let mut parts = rest.split_whitespace();
+            let _id = parts.next().ok_or_else(|| perr(ln, "missing global id"))?;
+            let name = parts.next().ok_or_else(|| perr(ln, "missing global name"))?;
+            let colon = parts.next();
+            if colon != Some(":") {
+                return Err(perr(ln, "expected `:` in global"));
+            }
+            let len: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| perr(ln, "bad global length"))?;
+            if parts.next() != Some("x") {
+                return Err(perr(ln, "expected `x` in global"));
+            }
+            let ty = parse_type(ln, parts.next().ok_or_else(|| perr(ln, "missing elem type"))?)?;
+            let g = module.add_global_init(GlobalData {
+                name: name.to_string(),
+                elem_ty: ty,
+                len,
+                init: GlobalInit::Zero,
+            });
+            p.global_names.insert(name.to_string(), g);
+        } else if l.starts_with("fn ") || l.starts_with("task fn ") {
+            let func = parse_function(&mut p)?;
+            module.add_function(func);
+        } else {
+            return Err(perr(ln, format!("unexpected line `{l}`")));
+        }
+    }
+    Ok(module)
+}
+
+fn parse_function(p: &mut Parser<'_>) -> Result<Function, ParseError> {
+    let (hln, header) = p.next().expect("caller checked");
+    let is_task = header.starts_with("task ");
+    let header = header.strip_prefix("task ").unwrap_or(header);
+    let header = header.strip_prefix("fn ").ok_or_else(|| perr(hln, "expected `fn`"))?;
+    let open = header.find('(').ok_or_else(|| perr(hln, "missing `(`"))?;
+    let name = header[..open].trim().to_string();
+    let close = header.find(')').ok_or_else(|| perr(hln, "missing `)`"))?;
+    let mut params = Vec::new();
+    for part in split_top_level(&header[open + 1..close]) {
+        let ty_s = part
+            .split(':')
+            .nth(1)
+            .ok_or_else(|| perr(hln, format!("malformed param `{part}`")))?
+            .trim();
+        params.push(parse_type(hln, ty_s)?);
+    }
+    let after = header[close + 1..].trim();
+    let ret = if let Some(r) = after.strip_prefix("->") {
+        parse_type(hln, r.trim_end_matches('{').trim())?
+    } else {
+        Type::Void
+    };
+
+    // First pass over the body: collect blocks (with params) and value names.
+    let body_start = p.pos;
+    let mut env = FuncEnv { blocks: HashMap::new(), insts: HashMap::new() };
+    let mut func = Function::new(name, params, ret);
+    func.is_task = is_task;
+    let mut block_order: Vec<(String, Vec<Type>)> = Vec::new();
+    let mut inst_order: Vec<String> = Vec::new();
+    let mut depth = 1usize;
+    while let Some((ln, l)) = p.next() {
+        if l == "}" {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if l.ends_with(':') || (l.contains("):") && l.starts_with("bb")) {
+            // block header: `bb0:` or `bb1(bb1p0: i64, ...):`
+            let l = l.trim_end_matches(':');
+            if let Some(open) = l.find('(') {
+                let name = l[..open].to_string();
+                let inner = l[open + 1..].trim_end_matches(')');
+                let mut tys = Vec::new();
+                for part in split_top_level(inner) {
+                    let ty_s = part
+                        .split(':')
+                        .nth(1)
+                        .ok_or_else(|| perr(ln, format!("malformed block param `{part}`")))?
+                        .trim();
+                    tys.push(parse_type(ln, ty_s)?);
+                }
+                block_order.push((name, tys));
+            } else {
+                block_order.push((l.to_string(), vec![]));
+            }
+        } else if let Some(eq) = l.find('=') {
+            if l.contains(": ") && l.starts_with('v') {
+                let name = l[..l.find(':').unwrap()].trim().to_string();
+                let _ = eq;
+                inst_order.push(name);
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(perr(hln, "unterminated function body"));
+    }
+    let end_pos = p.pos;
+
+    // Allocate blocks: first block header reuses the entry block.
+    for (i, (bname, tys)) in block_order.iter().enumerate() {
+        let bb = if i == 0 { func.entry } else { func.add_block() };
+        for ty in tys {
+            func.add_block_param(bb, *ty);
+        }
+        env.blocks.insert(bname.clone(), bb);
+    }
+    // Allocate instruction slots in appearance order.
+    for iname in &inst_order {
+        // Placeholder kind/type, patched in the second pass.
+        let id = func.create_inst(InstKind::Prefetch { addr: Value::ConstI64(0) }, Type::Void);
+        env.insts.insert(iname.clone(), id);
+    }
+
+    // Second pass: fill instructions and terminators.
+    p.pos = body_start;
+    let mut cur: Option<BlockId> = None;
+    while p.pos < end_pos {
+        let (ln, l) = p.next().expect("bounded by end_pos");
+        if l == "}" {
+            continue;
+        }
+        if l.ends_with(':') && (l.starts_with("bb")) {
+            let name = l.trim_end_matches(':');
+            let name = name.split('(').next().unwrap();
+            cur = Some(env.blocks[name]);
+            continue;
+        }
+        let bb = cur.ok_or_else(|| perr(ln, "statement before first block header"))?;
+        if let Some(rest) = l.strip_prefix("jump ") {
+            let dest = p.parse_block_call(&env, ln, rest)?;
+            func.set_terminator(bb, Terminator::Jump(dest));
+        } else if let Some(rest) = l.strip_prefix("br ") {
+            let parts = split_top_level(rest);
+            if parts.len() != 3 {
+                return Err(perr(ln, "br expects cond and two targets"));
+            }
+            let cond = p.parse_value(&env, ln, parts[0])?;
+            let then_dest = p.parse_block_call(&env, ln, parts[1])?;
+            let else_dest = p.parse_block_call(&env, ln, parts[2])?;
+            func.set_terminator(bb, Terminator::Branch { cond, then_dest, else_dest });
+        } else if l == "ret" {
+            func.set_terminator(bb, Terminator::Ret(None));
+        } else if let Some(rest) = l.strip_prefix("ret ") {
+            let v = p.parse_value(&env, ln, rest)?;
+            func.set_terminator(bb, Terminator::Ret(Some(v)));
+        } else if let Some(eq) = l.find(" = ") {
+            // `vN: ty = op ...`
+            let lhs = &l[..eq];
+            let colon = lhs.find(':').ok_or_else(|| perr(ln, "missing result type"))?;
+            let vname = lhs[..colon].trim();
+            let ty = parse_type(ln, lhs[colon + 1..].trim())?;
+            let id = *env.insts.get(vname).ok_or_else(|| perr(ln, "unknown result name"))?;
+            let kind = parse_inst_kind(p, &env, ln, &l[eq + 3..])?;
+            *func.inst_mut(id) = crate::function::InstData { kind, ty };
+            func.append_inst(bb, id);
+        } else {
+            // void instruction: store / prefetch / call
+            let kind = parse_inst_kind(p, &env, ln, l)?;
+            let id = func.create_inst(kind, Type::Void);
+            func.append_inst(bb, id);
+        }
+    }
+    Ok(func)
+}
+
+fn parse_inst_kind(
+    p: &Parser<'_>,
+    env: &FuncEnv,
+    ln: usize,
+    text: &str,
+) -> Result<InstKind, ParseError> {
+    let text = text.trim();
+    let (op, rest) = match text.find(' ') {
+        Some(i) => (&text[..i], text[i + 1..].trim()),
+        None => (text, ""),
+    };
+    if let Some(b) = binop_from_mnemonic(op) {
+        let parts = split_top_level(rest);
+        if parts.len() != 2 {
+            return Err(perr(ln, format!("`{op}` expects two operands")));
+        }
+        return Ok(InstKind::Binary {
+            op: b,
+            lhs: p.parse_value(env, ln, parts[0])?,
+            rhs: p.parse_value(env, ln, parts[1])?,
+        });
+    }
+    if let Some(u) = unop_from_mnemonic(op) {
+        return Ok(InstKind::Unary { op: u, operand: p.parse_value(env, ln, rest)? });
+    }
+    match op {
+        "icmp" => {
+            let (pred, rest2) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr(ln, "icmp expects predicate"))?;
+            let parts = split_top_level(rest2);
+            if parts.len() != 2 {
+                return Err(perr(ln, "icmp expects two operands"));
+            }
+            Ok(InstKind::Cmp {
+                op: cmpop_from_mnemonic(ln, pred)?,
+                lhs: p.parse_value(env, ln, parts[0])?,
+                rhs: p.parse_value(env, ln, parts[1])?,
+            })
+        }
+        "select" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 3 {
+                return Err(perr(ln, "select expects three operands"));
+            }
+            Ok(InstKind::Select {
+                cond: p.parse_value(env, ln, parts[0])?,
+                then_value: p.parse_value(env, ln, parts[1])?,
+                else_value: p.parse_value(env, ln, parts[2])?,
+            })
+        }
+        "ptradd" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 2 {
+                return Err(perr(ln, "ptradd expects two operands"));
+            }
+            Ok(InstKind::PtrAdd {
+                base: p.parse_value(env, ln, parts[0])?,
+                offset: p.parse_value(env, ln, parts[1])?,
+            })
+        }
+        "load" => Ok(InstKind::Load { addr: p.parse_value(env, ln, rest)? }),
+        "store" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 2 {
+                return Err(perr(ln, "store expects two operands"));
+            }
+            Ok(InstKind::Store {
+                addr: p.parse_value(env, ln, parts[0])?,
+                value: p.parse_value(env, ln, parts[1])?,
+            })
+        }
+        "prefetch" => Ok(InstKind::Prefetch { addr: p.parse_value(env, ln, rest)? }),
+        "call" => {
+            let open = rest.find('(').ok_or_else(|| perr(ln, "call expects `(`"))?;
+            let name = rest[..open].trim();
+            let inner = rest[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| perr(ln, "call expects `)`"))?;
+            let callee = *p
+                .func_names
+                .get(name)
+                .ok_or_else(|| perr(ln, format!("unknown callee `{name}`")))?;
+            let mut args = Vec::new();
+            for a in split_top_level(inner) {
+                args.push(p.parse_value(env, ln, a)?);
+            }
+            Ok(InstKind::Call { callee, args })
+        }
+        other => Err(perr(ln, format!("unknown instruction `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::print::print_module;
+
+    fn round_trip(m: &Module) {
+        let text = print_module(m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        let text2 = print_module(&parsed);
+        assert_eq!(text, text2, "round trip changed the module");
+        crate::verify::verify_module(&parsed).unwrap();
+    }
+
+    #[test]
+    fn round_trip_loop_function() {
+        let mut m = Module::new();
+        let g = m.add_global("a", Type::F64, 128);
+        let mut b = FunctionBuilder::new("t", vec![Type::I64], Type::Void);
+        b.set_task();
+        let out = b.counted_loop_carried(
+            Value::i64(0),
+            Value::Arg(0),
+            Value::i64(1),
+            vec![Value::f64(0.0)],
+            |b, i, c| {
+                let addr = b.elem_addr(Value::Global(g), i, Type::F64);
+                let x = b.load(Type::F64, addr);
+                vec![b.fadd(c[0], x)]
+            },
+        );
+        let dst = b.ptr_add(Value::Global(g), 0i64);
+        b.store(dst, out[0]);
+        b.ret(None);
+        m.add_function(b.finish());
+        round_trip(&m);
+    }
+
+    #[test]
+    fn round_trip_calls_and_branches() {
+        let mut m = Module::new();
+        let mut cb = FunctionBuilder::new("helper", vec![Type::I64], Type::I64);
+        let d = cb.imul(Value::Arg(0), 2i64);
+        cb.ret(Some(d));
+        let callee = m.add_function(cb.finish());
+
+        let mut b = FunctionBuilder::new("main_like", vec![Type::I64], Type::I64);
+        let c = b.cmp(CmpOp::Gt, Value::Arg(0), 10i64);
+        let merged = b.if_then_else(
+            c,
+            vec![Type::I64],
+            |b| vec![b.call(callee, vec![Value::Arg(0)], Type::I64).unwrap()],
+            |_| vec![Value::i64(0)],
+        );
+        b.ret(Some(merged[0]));
+        m.add_function(b.finish());
+        round_trip(&m);
+    }
+
+    #[test]
+    fn parses_handwritten_snippet() {
+        let text = "
+global g0 buf : 4 x i64
+
+task fn scan(arg0: i64) {
+bb0:
+  jump bb1(0)
+bb1(bb1p0: i64):
+  v0: bool = icmp lt bb1p0, arg0
+  br v0, bb2, bb3
+bb2:
+  v1: i64 = imul bb1p0, 8
+  v2: ptr = ptradd @g0, v1
+  prefetch v2
+  v3: i64 = iadd bb1p0, 1
+  jump bb1(v3)
+bb3:
+  ret
+}
+";
+        let m = parse_module(text).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+        let f = m.func(m.func_by_name("scan").unwrap());
+        assert!(f.is_task);
+        assert_eq!(f.num_blocks(), 4);
+    }
+
+    #[test]
+    fn reports_errors_with_line() {
+        let text = "fn broken() {\nbb0:\n  v0: i64 = frobnicate 1, 2\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn parses_float_and_bool_literals() {
+        let text = "
+fn f() -> f64 {
+bb0:
+  v0: f64 = fadd 1.5, 2.25
+  v1: f64 = select true, v0, 0.0
+  ret v1
+}
+";
+        let m = parse_module(text).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+    }
+}

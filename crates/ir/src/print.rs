@@ -1,0 +1,181 @@
+//! Textual form of the IR, used for debugging, docs and golden tests.
+
+use crate::function::Function;
+use crate::inst::{InstKind, Terminator};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{BlockId, InstId};
+use std::fmt::Write;
+
+/// Renders one instruction (without its result binding).
+fn format_inst_kind(module: Option<&Module>, kind: &InstKind) -> String {
+    match kind {
+        InstKind::Binary { op, lhs, rhs } => format!("{op} {lhs}, {rhs}"),
+        InstKind::Unary { op, operand } => format!("{op} {operand}"),
+        InstKind::Cmp { op, lhs, rhs } => format!("icmp {op} {lhs}, {rhs}"),
+        InstKind::Select { cond, then_value, else_value } => {
+            format!("select {cond}, {then_value}, {else_value}")
+        }
+        InstKind::PtrAdd { base, offset } => format!("ptradd {base}, {offset}"),
+        InstKind::Load { addr } => format!("load {addr}"),
+        InstKind::Store { addr, value } => format!("store {addr}, {value}"),
+        InstKind::Prefetch { addr } => format!("prefetch {addr}"),
+        InstKind::Call { callee, args } => {
+            let name = module
+                .map(|m| m.func(*callee).name.clone())
+                .unwrap_or_else(|| format!("{callee}"));
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("call {name}({})", args.join(", "))
+        }
+    }
+}
+
+fn format_block_call(call: &crate::inst::BlockCall) -> String {
+    if call.args.is_empty() {
+        format!("{}", call.block)
+    } else {
+        let args: Vec<String> = call.args.iter().map(|a| a.to_string()).collect();
+        format!("{}({})", call.block, args.join(", "))
+    }
+}
+
+/// Pretty-prints a function. Pass the owning module to resolve callee names.
+pub fn print_function(func: &Function, module: Option<&Module>) -> String {
+    let mut out = String::new();
+    let params: Vec<String> =
+        func.params.iter().enumerate().map(|(i, t)| format!("arg{i}: {t}")).collect();
+    let task = if func.is_task { "task " } else { "" };
+    let ret = if func.ret == Type::Void { String::new() } else { format!(" -> {}", func.ret) };
+    let _ = writeln!(out, "{task}fn {}({}){} {{", func.name, params.join(", "), ret);
+    for bb in func.block_ids() {
+        print_block(&mut out, func, module, bb);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_block(out: &mut String, func: &Function, module: Option<&Module>, bb: BlockId) {
+    let data = func.block(bb);
+    let params: Vec<String> = data
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{bb}p{i}: {t}"))
+        .collect();
+    if params.is_empty() {
+        let _ = writeln!(out, "{bb}:");
+    } else {
+        let _ = writeln!(out, "{bb}({}):", params.join(", "));
+    }
+    for &inst in &data.insts {
+        print_inst(out, func, module, inst);
+    }
+    match &data.term {
+        Some(Terminator::Jump(dest)) => {
+            let _ = writeln!(out, "  jump {}", format_block_call(dest));
+        }
+        Some(Terminator::Branch { cond, then_dest, else_dest }) => {
+            let _ = writeln!(
+                out,
+                "  br {cond}, {}, {}",
+                format_block_call(then_dest),
+                format_block_call(else_dest)
+            );
+        }
+        Some(Terminator::Ret(Some(v))) => {
+            let _ = writeln!(out, "  ret {v}");
+        }
+        Some(Terminator::Ret(None)) => {
+            let _ = writeln!(out, "  ret");
+        }
+        None => {
+            let _ = writeln!(out, "  <unterminated>");
+        }
+    }
+}
+
+fn print_inst(out: &mut String, func: &Function, module: Option<&Module>, inst: InstId) {
+    let data = func.inst(inst);
+    if data.ty == Type::Void {
+        let _ = writeln!(out, "  {}", format_inst_kind(module, &data.kind));
+    } else {
+        let _ = writeln!(out, "  {inst}: {} = {}", data.ty, format_inst_kind(module, &data.kind));
+    }
+}
+
+/// Pretty-prints a whole module (globals, then functions).
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for (id, g) in module.globals() {
+        let _ = writeln!(out, "global {id} {} : {} x {}", g.name, g.len, g.elem_ty);
+    }
+    if module.num_globals() > 0 {
+        out.push('\n');
+    }
+    for (_, f) in module.funcs() {
+        out.push_str(&print_function(f, Some(module)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::I64);
+        let v = b.iadd(Value::Arg(0), 1i64);
+        b.ret(Some(v));
+        let text = print_function(&b.finish(), None);
+        assert!(text.contains("fn f(arg0: i64) -> i64 {"), "{text}");
+        assert!(text.contains("v0: i64 = iadd arg0, 1"), "{text}");
+        assert!(text.contains("ret v0"), "{text}");
+    }
+
+    #[test]
+    fn prints_loops_with_block_args() {
+        let mut b = FunctionBuilder::new("l", vec![Type::I64], Type::Void);
+        b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |b, i| {
+            let a = b.imul(i, 8i64);
+            let p = b.ptr_add(Value::Global(crate::value::GlobalId(0)), a);
+            b.prefetch(p);
+        });
+        b.ret(None);
+        let text = print_function(&b.finish(), None);
+        assert!(text.contains("jump bb1(0)"), "{text}");
+        assert!(text.contains("br v0, bb2, bb3"), "{text}");
+        assert!(text.contains("prefetch"), "{text}");
+    }
+
+    #[test]
+    fn prints_module_with_globals() {
+        let mut m = Module::new();
+        m.add_global("a", Type::F64, 64);
+        let mut b = FunctionBuilder::new("t", vec![], Type::Void);
+        b.ret(None);
+        let mut f = b.finish();
+        f.is_task = true;
+        m.add_function(f);
+        let text = print_module(&m);
+        assert!(text.contains("global g0 a : 64 x f64"), "{text}");
+        assert!(text.contains("task fn t()"), "{text}");
+    }
+
+    #[test]
+    fn call_uses_function_name() {
+        let mut m = Module::new();
+        let mut cb = FunctionBuilder::new("callee", vec![Type::I64], Type::I64);
+        cb.ret(Some(Value::Arg(0)));
+        let callee = m.add_function(cb.finish());
+        let mut b = FunctionBuilder::new("caller", vec![], Type::Void);
+        b.call(callee, vec![Value::i64(3)], Type::I64);
+        b.ret(None);
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("call callee(3)"), "{text}");
+    }
+}

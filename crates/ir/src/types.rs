@@ -1,0 +1,99 @@
+//! The scalar type system of the IR.
+
+use std::fmt;
+
+/// A first-class IR type.
+///
+/// The IR is deliberately small: 64-bit integers, 64-bit floats, booleans
+/// (comparison results) and pointers. This is sufficient to express every
+/// kernel in the paper's evaluation while keeping analyses simple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Boolean, the result of comparisons.
+    Bool,
+    /// Pointer into the simulated address space (byte-addressed).
+    Ptr,
+    /// Absence of a value (a function with no return value).
+    Void,
+}
+
+impl Type {
+    /// Size in bytes of a value of this type when stored in simulated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Type::Void`], which has no storage representation.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Bool => 1,
+            Type::Void => panic!("void has no size"),
+        }
+    }
+
+    /// True if the type is an integer-like type usable in address arithmetic.
+    pub fn is_integral(self) -> bool {
+        matches!(self, Type::I64 | Type::Bool)
+    }
+
+    /// True for [`Type::F64`].
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// True for [`Type::Ptr`].
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Bool => "bool",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::I64.size_bytes(), 8);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::Ptr.size_bytes(), 8);
+        assert_eq!(Type::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "void has no size")]
+    fn void_has_no_size() {
+        let _ = Type::Void.size_bytes();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::I64.is_integral());
+        assert!(Type::Bool.is_integral());
+        assert!(Type::F64.is_float());
+        assert!(Type::Ptr.is_ptr());
+        assert!(!Type::F64.is_integral());
+    }
+}

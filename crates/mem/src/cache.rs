@@ -1,0 +1,251 @@
+//! A single set-associative cache with LRU replacement.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters of one level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses occurred.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Outcome of one cache access: whether it hit, and a dirty line evicted
+/// to make room (write-back traffic for the next level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The line was already resident.
+    pub hit: bool,
+    /// A dirty victim was evicted (its line number).
+    pub evicted_dirty: Option<u64>,
+}
+
+/// One set-associative LRU write-back cache. Tracks line presence and dirty
+/// state only — data lives in the simulator's flat memory.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per set: (line number, dirty), most-recently-used first.
+    sets: Vec<Vec<(u64, bool)>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible into
+    /// sets, or line size not a power of two).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.assoc > 0, "associativity must be positive");
+        assert_eq!(
+            cfg.size_bytes % (cfg.assoc as u64 * cfg.line_bytes),
+            0,
+            "size must divide into sets"
+        );
+        let sets = vec![Vec::with_capacity(cfg.assoc); cfg.num_sets() as usize];
+        Cache { cfg, sets, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears counters (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache (keeps counters).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.cfg.num_sets()) as usize
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On miss the line is filled
+    /// clean (LRU eviction). Convenience wrapper over [`Cache::access_full`].
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_full(addr, false).hit
+    }
+
+    /// Accesses `addr`, marking the line dirty when `write` is set. On miss
+    /// the line is filled (dirty iff `write`); the LRU victim's dirty state
+    /// is reported so callers can model write-back traffic.
+    pub fn access_full(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        let line = self.line_of(addr);
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            // Move to MRU position, accumulating dirtiness.
+            let (l, d) = set.remove(pos);
+            set.insert(0, (l, d || write));
+            self.stats.hits += 1;
+            AccessOutcome { hit: true, evicted_dirty: None }
+        } else {
+            set.insert(0, (line, write));
+            let evicted_dirty = if set.len() > self.cfg.assoc {
+                match set.pop() {
+                    Some((victim, true)) => Some(victim),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            self.stats.misses += 1;
+            AccessOutcome { hit: false, evicted_dirty }
+        }
+    }
+
+    /// Marks the line containing `addr` dirty if resident (used to sink a
+    /// lower level's write-back); returns whether it was resident.
+    pub fn mark_dirty_line(&mut self, line: u64) -> bool {
+        let set_idx = (line % self.cfg.num_sets()) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the line containing `addr` is resident (no state change, no
+    /// stat update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = &self.sets[self.set_of(line)];
+        set.iter().any(|&(l, _)| l == line)
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B lines = 256 B.
+        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().num_sets(), 2);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line, other set
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Set 0 holds lines {0, 2, 4, ...} (even line numbers).
+        c.access(0); // line 0 -> set 0
+        c.access(128); // line 2 -> set 0
+        c.access(0); // touch line 0: MRU
+        c.access(256); // line 4 -> set 0, evicts line 2 (LRU)
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(64); // set 1
+        c.access(192); // set 1
+        c.access(320); // set 1 — evicts 64
+        assert!(c.probe(0), "set 0 must be untouched");
+        assert!(!c.probe(64));
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().misses, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 48 });
+    }
+}

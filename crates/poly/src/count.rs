@@ -1,0 +1,140 @@
+//! Integer-point counting, including parametric Ehrhart interpolation.
+//!
+//! The paper counts `NOrig` and `NconvUn` with Ehrhart polynomials (their ref.\[5\]). For
+//! instantiated parameters we count exactly by enumeration
+//! ([`crate::polyhedron::Polyhedron::count_integer_points`]); for symbolic
+//! parameters this module reconstructs the Ehrhart (quasi-)polynomial of a
+//! one-parameter family by Lagrange interpolation of exact counts — the
+//! classic interpolation construction of Ehrhart theory.
+
+use crate::rat::Rat;
+
+/// A univariate polynomial with rational coefficients, lowest degree first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly {
+    /// Coefficients `c0 + c1·n + c2·n² + …`.
+    pub coeffs: Vec<Rat>,
+}
+
+impl Poly {
+    /// Evaluates at integer `n`.
+    pub fn eval(&self, n: i64) -> Rat {
+        let x = Rat::from(n);
+        let mut acc = Rat::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Degree (index of last non-zero coefficient; 0 for the zero poly).
+    pub fn degree(&self) -> usize {
+        self.coeffs.iter().rposition(|c| !c.is_zero()).unwrap_or(0)
+    }
+}
+
+/// Interpolates the unique polynomial of degree `<= points.len() - 1`
+/// through `(x, y)` pairs (Lagrange form).
+pub fn lagrange(points: &[(i64, i64)]) -> Poly {
+    let n = points.len();
+    assert!(n > 0, "need at least one point");
+    // Accumulate coefficients of Σ yi · Π_{j≠i} (x - xj)/(xi - xj).
+    let mut coeffs = vec![Rat::ZERO; n];
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // numerator polynomial Π_{j≠i} (x - xj), built incrementally.
+        let mut num = vec![Rat::ZERO; n];
+        num[0] = Rat::ONE;
+        let mut deg = 0;
+        let mut denom = Rat::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            // multiply num by (x - xj)
+            for k in (0..=deg).rev() {
+                let c = num[k];
+                num[k + 1] = num[k + 1] + c;
+                num[k] = c * Rat::from(-xj);
+            }
+            deg += 1;
+            denom = denom * Rat::from(xi - xj);
+        }
+        let scale = Rat::from(yi) / denom;
+        for k in 0..n {
+            coeffs[k] = coeffs[k] + num[k] * scale;
+        }
+    }
+    Poly { coeffs }
+}
+
+/// Reconstructs the degree-`degree` Ehrhart polynomial of a one-parameter
+/// counting function by sampling `count` at `degree + 1` consecutive
+/// parameter values starting at `start`.
+///
+/// For genuinely polynomial families (all the access sets generated in this
+/// workspace) the result is exact; for quasi-polynomial families it is the
+/// polynomial piece of the sampled residue class.
+pub fn ehrhart_interpolate(degree: usize, start: i64, mut count: impl FnMut(i64) -> u64) -> Poly {
+    let pts: Vec<(i64, i64)> =
+        (0..=degree as i64).map(|k| (start + k, count(start + k) as i64)).collect();
+    lagrange(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::{LinExpr, Space};
+    use crate::polyhedron::Polyhedron;
+
+    #[test]
+    fn lagrange_through_line() {
+        let p = lagrange(&[(0, 1), (1, 3)]);
+        assert_eq!(p.eval(0), Rat::int(1));
+        assert_eq!(p.eval(1), Rat::int(3));
+        assert_eq!(p.eval(10), Rat::int(21));
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn lagrange_through_square_counts() {
+        // n^2 through three points.
+        let p = lagrange(&[(1, 1), (2, 4), (3, 9)]);
+        assert_eq!(p.eval(7), Rat::int(49));
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn ehrhart_of_square_domain() {
+        // |{(i,j) | 0<=i<n, 0<=j<n}| = n²
+        let s = Space::new(2, 1);
+        let mut dom = Polyhedron::universe(s);
+        dom.add_ge0(LinExpr::dim(s, 0));
+        dom.add_ge0(LinExpr::dim(s, 0).scale(-1).with_param(0, 1).with_const(-1));
+        dom.add_ge0(LinExpr::dim(s, 1));
+        dom.add_ge0(LinExpr::dim(s, 1).scale(-1).with_param(0, 1).with_const(-1));
+        let p = ehrhart_interpolate(2, 1, |n| dom.instantiate_params(&[n]).count_integer_points());
+        assert_eq!(p.eval(10), Rat::int(100));
+        assert_eq!(p.eval(31), Rat::int(961));
+    }
+
+    #[test]
+    fn ehrhart_of_triangle_domain() {
+        // |{(i,j) | 0<=i<n, i+1<=j<n}| = n(n-1)/2  (the LU j-loop domain)
+        let s = Space::new(2, 1);
+        let mut dom = Polyhedron::universe(s);
+        dom.add_ge0(LinExpr::dim(s, 0));
+        dom.add_ge0(LinExpr::dim(s, 0).scale(-1).with_param(0, 1).with_const(-1));
+        dom.add_ge0(LinExpr::dim(s, 1).with_dim(0, -1).with_const(-1));
+        dom.add_ge0(LinExpr::dim(s, 1).scale(-1).with_param(0, 1).with_const(-1));
+        let p = ehrhart_interpolate(2, 2, |n| dom.instantiate_params(&[n]).count_integer_points());
+        assert_eq!(p.eval(10), Rat::int(45));
+        assert_eq!(p.eval(64), Rat::int(64 * 63 / 2));
+    }
+
+    #[test]
+    fn constant_family() {
+        let p = ehrhart_interpolate(0, 1, |_| 7);
+        assert_eq!(p.eval(100), Rat::int(7));
+        assert_eq!(p.degree(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # dae-poly — an exact polyhedral library (PolyLib stand-in)
+//!
+//! The polyhedral substrate of the CGO 2014 DAE reproduction. The paper uses
+//! PolyLib (plus Ehrhart counting and Z-polytope machinery) for its §5.1
+//! affine access analysis; this crate implements exactly the facilities that
+//! analysis needs, from scratch, over exact `i128` rationals:
+//!
+//! * [`rat::Rat`] — exact rational arithmetic,
+//! * [`linexpr::LinExpr`]/[`linexpr::Space`] — integer affine expressions
+//!   over dimensions and symbolic parameters,
+//! * [`polyhedron::Polyhedron`] — constraint-form polyhedra with
+//!   intersection, Fourier–Motzkin projection, exact emptiness, bound
+//!   extraction and integer-point enumeration/counting,
+//! * [`vertex::vertices`] — exact vertex enumeration (basis enumeration),
+//! * [`hull::convex_hull`] — convex hulls of point sets (exact in 1-D/2-D),
+//! * [`map::AffineImage`] — Z-polytopes as affine images of domains, with
+//!   distinct-point counting for the paper's `NOrig`,
+//! * [`count::ehrhart_interpolate`] — parametric counting by Ehrhart
+//!   interpolation,
+//! * [`codegen::extract_loop_nest`] — scanning loop bounds for a polyhedron
+//!   (the "loop nest of minimal depth" generation).
+//!
+//! # Examples
+//!
+//! The paper's Listing 1 profitability check in miniature: two transposed
+//! accesses cover the full block; the convex hull of the union adds no
+//! extra cells, so the `NconvUn <= NOrig` check accepts the hull scan.
+//!
+//! ```
+//! use dae_poly::linexpr::{LinExpr, Space};
+//! use dae_poly::polyhedron::Polyhedron;
+//! use dae_poly::map::{count_union_distinct, AffineImage};
+//! use dae_poly::hull::convex_hull;
+//!
+//! // domain { (i, j) | 0 <= i < 8, 0 <= j < 8 }
+//! let s = Space::new(2, 0);
+//! let mut dom = Polyhedron::universe(s);
+//! dom.bound_dim(0, 0, 7);
+//! dom.bound_dim(1, 0, 7);
+//!
+//! // two accesses: A[i][j] and A[j][i]
+//! let a1 = AffineImage::new(dom.clone(), vec![LinExpr::dim(s, 0), LinExpr::dim(s, 1)]);
+//! let a2 = AffineImage::new(dom.clone(), vec![LinExpr::dim(s, 1), LinExpr::dim(s, 0)]);
+//!
+//! let n_orig = count_union_distinct(&[a1.clone(), a2.clone()], &[]);
+//! let mut pts = a1.image_vertices(&[]);
+//! pts.extend(a2.image_vertices(&[]));
+//! let hull = convex_hull(2, &pts);
+//! let n_conv = hull.count_integer_points();
+//! assert_eq!(n_orig, 64);
+//! assert_eq!(n_conv, 64); // hull adds nothing: scan it
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod count;
+pub mod hull;
+pub mod linexpr;
+pub mod map;
+pub mod polyhedron;
+pub mod rat;
+pub mod vertex;
+
+pub use codegen::{extract_loop_nest, Bound, DimBounds, LoopNestSpec};
+pub use count::{ehrhart_interpolate, lagrange, Poly};
+pub use hull::convex_hull;
+pub use linexpr::{LinExpr, Space};
+pub use map::{count_union_distinct, AffineImage};
+pub use polyhedron::{Constraint, ConstraintKind, Polyhedron};
+pub use rat::Rat;
+pub use vertex::vertices;

@@ -1,0 +1,164 @@
+//! Affine images of polyhedra (Z-polytopes) and unions thereof.
+//!
+//! An [`AffineImage`] is the compiler's model of one memory instruction: the
+//! set of array cells it touches is the image of its iteration domain under
+//! the affine subscript map. The paper's `NOrig` is the number of *distinct*
+//! points in the union of these images (a union of Z-polytopes, counted in
+//! the paper with Ehrhart polynomials; counted here by exact enumeration for
+//! instantiated parameters, with Ehrhart interpolation available in
+//! [`crate::count`] for parametric counts).
+
+use crate::linexpr::LinExpr;
+use crate::polyhedron::Polyhedron;
+use crate::rat::Rat;
+use crate::vertex::vertices;
+use std::collections::HashSet;
+
+/// The image of an iteration domain under an affine subscript map.
+#[derive(Clone, Debug)]
+pub struct AffineImage {
+    /// Iteration domain (dims = loop counters; params allowed).
+    pub domain: Polyhedron,
+    /// One affine expression per target (subscript) coordinate, over the
+    /// domain's space.
+    pub map: Vec<LinExpr>,
+}
+
+impl AffineImage {
+    /// Creates an image; all map expressions must live in the domain's space.
+    pub fn new(domain: Polyhedron, map: Vec<LinExpr>) -> Self {
+        for e in &map {
+            assert_eq!(e.space, domain.space(), "map expression space mismatch");
+        }
+        AffineImage { domain, map }
+    }
+
+    /// Number of target coordinates.
+    pub fn target_dims(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Enumerates the distinct integer target points for concrete parameter
+    /// values.
+    pub fn enumerate(&self, params: &[i64]) -> HashSet<Vec<i64>> {
+        let dom = self.domain.instantiate_params(params);
+        let maps: Vec<LinExpr> = self.map.iter().map(|e| e.instantiate_params(params)).collect();
+        let mut out = HashSet::new();
+        dom.for_each_integer_point(|pt| {
+            let img: Vec<i64> = maps.iter().map(|e| e.eval_int(pt, &[]) as i64).collect();
+            out.insert(img);
+        });
+        out
+    }
+
+    /// The rational vertices of the image for concrete parameter values:
+    /// the images of the domain's vertices (exact for affine maps — the
+    /// image of a convex hull is the convex hull of the vertex images).
+    pub fn image_vertices(&self, params: &[i64]) -> Vec<Vec<Rat>> {
+        let dom = self.domain.instantiate_params(params);
+        let maps: Vec<LinExpr> = self.map.iter().map(|e| e.instantiate_params(params)).collect();
+        let mut out: Vec<Vec<Rat>> = Vec::new();
+        for v in vertices(&dom) {
+            let img: Vec<Rat> = maps
+                .iter()
+                .map(|e| {
+                    let mut acc = Rat::int(e.const_term());
+                    for (d, val) in v.iter().enumerate() {
+                        acc = acc + *val * Rat::int(e.dim_coeff(d));
+                    }
+                    acc
+                })
+                .collect();
+            if !out.contains(&img) {
+                out.push(img);
+            }
+        }
+        out
+    }
+}
+
+/// Counts the distinct points in the union of several images for concrete
+/// parameter values (the paper's `NOrig`).
+pub fn count_union_distinct(images: &[AffineImage], params: &[i64]) -> u64 {
+    let mut all: HashSet<Vec<i64>> = HashSet::new();
+    for img in images {
+        all.extend(img.enumerate(params));
+    }
+    all.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::Space;
+
+    /// Builds the iteration domain { (i, j) | 0 <= i < n, 0 <= j < n } with
+    /// one parameter n.
+    fn square_domain() -> Polyhedron {
+        let s = Space::new(2, 1);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0));
+        p.add_ge0(LinExpr::dim(s, 0).scale(-1).with_param(0, 1).with_const(-1));
+        p.add_ge0(LinExpr::dim(s, 1));
+        p.add_ge0(LinExpr::dim(s, 1).scale(-1).with_param(0, 1).with_const(-1));
+        p
+    }
+
+    #[test]
+    fn identity_image_counts_square() {
+        let s = Space::new(2, 1);
+        let img = AffineImage::new(square_domain(), vec![LinExpr::dim(s, 0), LinExpr::dim(s, 1)]);
+        assert_eq!(img.enumerate(&[4]).len(), 16);
+    }
+
+    #[test]
+    fn collapsing_image_dedupes() {
+        // map (i, j) -> (i): all j collapse.
+        let s = Space::new(2, 1);
+        let img = AffineImage::new(square_domain(), vec![LinExpr::dim(s, 0)]);
+        assert_eq!(img.enumerate(&[5]).len(), 5);
+    }
+
+    #[test]
+    fn union_counts_overlap_once() {
+        // A[i][j] and A[i][j] again (two instructions, same cells) — union
+        // must not double count. Third image shifted by 1 row adds n cells.
+        let s = Space::new(2, 1);
+        let a = AffineImage::new(square_domain(), vec![LinExpr::dim(s, 0), LinExpr::dim(s, 1)]);
+        let b = a.clone();
+        let c = AffineImage::new(
+            square_domain(),
+            vec![LinExpr::dim(s, 0).with_const(1), LinExpr::dim(s, 1)],
+        );
+        assert_eq!(count_union_distinct(&[a.clone(), b], &[4]), 16);
+        assert_eq!(count_union_distinct(&[a, c], &[4]), 20);
+    }
+
+    #[test]
+    fn image_vertices_are_mapped_domain_vertices() {
+        let s = Space::new(2, 1);
+        // map (i,j) -> (i + j, j): a shear.
+        let img = AffineImage::new(
+            square_domain(),
+            vec![LinExpr::dim(s, 0).with_dim(1, 1), LinExpr::dim(s, 1)],
+        );
+        let vs = img.image_vertices(&[3]);
+        assert_eq!(vs.len(), 4);
+        assert!(vs.contains(&vec![Rat::int(0), Rat::int(0)]));
+        assert!(vs.contains(&vec![Rat::int(4), Rat::int(2)]));
+    }
+
+    #[test]
+    fn strided_image_is_sparse() {
+        // map i -> 2i over 0..n : n distinct points, not 2n.
+        let s = Space::new(1, 1);
+        let mut dom = Polyhedron::universe(s);
+        dom.add_ge0(LinExpr::dim(s, 0));
+        dom.add_ge0(LinExpr::dim(s, 0).scale(-1).with_param(0, 1).with_const(-1));
+        let img = AffineImage::new(dom, vec![LinExpr::dim(s, 0).scale(2)]);
+        let pts = img.enumerate(&[6]);
+        assert_eq!(pts.len(), 6);
+        assert!(pts.contains(&vec![10]));
+        assert!(!pts.contains(&vec![9]));
+    }
+}

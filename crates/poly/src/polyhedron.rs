@@ -1,0 +1,498 @@
+//! Polyhedra as conjunctions of affine constraints, with Fourier–Motzkin
+//! projection and exact emptiness testing.
+
+use crate::linexpr::{LinExpr, Space};
+use crate::rat::Rat;
+
+/// Constraint sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `expr >= 0`.
+    GeZero,
+    /// `expr == 0`.
+    EqZero,
+}
+
+/// One affine constraint over a space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Sense.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// `expr >= 0`.
+    pub fn ge0(expr: LinExpr) -> Constraint {
+        Constraint { expr, kind: ConstraintKind::GeZero }
+    }
+
+    /// `expr == 0`.
+    pub fn eq0(expr: LinExpr) -> Constraint {
+        Constraint { expr, kind: ConstraintKind::EqZero }
+    }
+}
+
+/// A convex polyhedron `{ x | A·x + B·n + c >= 0, E·x + F·n + g == 0 }`
+/// over [`Space`] variables `x` (dims) and parameters `n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Polyhedron {
+    space: Space,
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The universe (no constraints) of `space`.
+    pub fn universe(space: Space) -> Polyhedron {
+        Polyhedron { space, constraints: Vec::new() }
+    }
+
+    /// The owning space.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// The constraint list.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds `expr >= 0`.
+    pub fn add_ge0(&mut self, expr: LinExpr) {
+        assert_eq!(expr.space, self.space);
+        self.constraints.push(Constraint::ge0(expr.normalize()));
+    }
+
+    /// Adds `expr == 0`.
+    pub fn add_eq0(&mut self, expr: LinExpr) {
+        assert_eq!(expr.space, self.space);
+        self.constraints.push(Constraint::eq0(expr.normalize()));
+    }
+
+    /// Adds `lo <= dim` and `dim <= hi` for constants.
+    pub fn bound_dim(&mut self, d: usize, lo: i128, hi: i128) {
+        let s = self.space;
+        self.add_ge0(LinExpr::dim(s, d).with_const(-lo)); // d - lo >= 0
+        self.add_ge0(LinExpr::dim(s, d).scale(-1).with_const(hi)); // hi - d >= 0
+    }
+
+    /// Intersection (same space).
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.space, other.space);
+        let mut out = self.clone();
+        out.constraints.extend(other.constraints.iter().cloned());
+        out
+    }
+
+    /// True if the given integer point (dims) with parameters satisfies all
+    /// constraints.
+    pub fn contains_int(&self, point: &[i64], params: &[i64]) -> bool {
+        self.constraints.iter().all(|c| {
+            let v = c.expr.eval_int(point, params);
+            match c.kind {
+                ConstraintKind::GeZero => v >= 0,
+                ConstraintKind::EqZero => v == 0,
+            }
+        })
+    }
+
+    /// True if the given rational point satisfies all constraints.
+    pub fn contains_rat(&self, point: &[Rat], params: &[i64]) -> bool {
+        self.constraints.iter().all(|c| {
+            let v = c.expr.eval(point, params);
+            match c.kind {
+                ConstraintKind::GeZero => v >= Rat::ZERO,
+                ConstraintKind::EqZero => v.is_zero(),
+            }
+        })
+    }
+
+    /// Substitutes concrete parameter values, producing a param-free
+    /// polyhedron.
+    pub fn instantiate_params(&self, values: &[i64]) -> Polyhedron {
+        let mut out = Polyhedron::universe(Space::new(self.space.dims, 0));
+        for c in &self.constraints {
+            let e = c.expr.instantiate_params(values);
+            match c.kind {
+                ConstraintKind::GeZero => out.add_ge0(e),
+                ConstraintKind::EqZero => out.add_eq0(e),
+            }
+        }
+        out
+    }
+
+    /// Eliminates dimension `d` by Fourier–Motzkin (existential projection
+    /// over the rationals). The result lives in a space with one fewer dim;
+    /// dims above `d` shift down.
+    pub fn eliminate_dim(&self, d: usize) -> Polyhedron {
+        assert!(d < self.space.dims);
+        let new_space = Space::new(self.space.dims - 1, self.space.params);
+        let drop_col = |e: &LinExpr| -> LinExpr {
+            let mut coeffs = Vec::with_capacity(new_space.width());
+            for (i, &c) in e.coeffs.iter().enumerate() {
+                if i != d {
+                    coeffs.push(c);
+                }
+            }
+            LinExpr { space: new_space, coeffs }
+        };
+
+        // If an equality involves d, use it to substitute d away exactly.
+        if let Some(eq_pos) = self
+            .constraints
+            .iter()
+            .position(|c| c.kind == ConstraintKind::EqZero && c.expr.dim_coeff(d) != 0)
+        {
+            let eq = &self.constraints[eq_pos].expr;
+            let a = eq.dim_coeff(d);
+            let mut out = Polyhedron::universe(new_space);
+            for (i, c) in self.constraints.iter().enumerate() {
+                if i == eq_pos {
+                    continue;
+                }
+                let b = c.expr.dim_coeff(d);
+                let combined = if b == 0 {
+                    c.expr.clone()
+                } else {
+                    // a*c.expr - b*eq has zero coefficient at d; keep the
+                    // inequality direction by multiplying with |a| signs.
+                    let scaled_c = c.expr.scale(a.abs());
+                    let scaled_eq = eq.scale(b * a.signum());
+                    scaled_c.sub(&scaled_eq)
+                };
+                let e = drop_col(&combined);
+                match c.kind {
+                    ConstraintKind::GeZero => out.add_ge0(e),
+                    ConstraintKind::EqZero => out.add_eq0(e),
+                }
+            }
+            return out;
+        }
+
+        // Classic FM on inequalities.
+        let mut lowers: Vec<&LinExpr> = Vec::new(); // coeff(d) > 0: d >= -rest/coeff
+        let mut uppers: Vec<&LinExpr> = Vec::new(); // coeff(d) < 0
+        let mut free: Vec<&Constraint> = Vec::new();
+        for c in &self.constraints {
+            let k = c.expr.dim_coeff(d);
+            if k == 0 {
+                free.push(c);
+            } else if k > 0 {
+                lowers.push(&c.expr);
+            } else {
+                uppers.push(&c.expr);
+            }
+        }
+        let mut out = Polyhedron::universe(new_space);
+        for c in free {
+            let e = drop_col(&c.expr);
+            match c.kind {
+                ConstraintKind::GeZero => out.add_ge0(e),
+                ConstraintKind::EqZero => out.add_eq0(e),
+            }
+        }
+        for lo in &lowers {
+            for up in &uppers {
+                let a = lo.dim_coeff(d); // > 0
+                let b = -up.dim_coeff(d); // > 0
+                // b*lo + a*up has zero coeff at d and stays >= 0.
+                let combined = lo.scale(b).add(&up.scale(a));
+                out.add_ge0(drop_col(&combined));
+            }
+        }
+        out
+    }
+
+    /// Eliminates all dimensions, leaving constraints over parameters only.
+    pub fn eliminate_all_dims(&self) -> Polyhedron {
+        let mut p = self.clone();
+        while p.space.dims > 0 {
+            p = p.eliminate_dim(p.space.dims - 1);
+        }
+        p
+    }
+
+    /// Exact rational emptiness test (ignores integrality).
+    ///
+    /// With parameters present, answers "is the polyhedron empty for **all**
+    /// parameter values" — i.e. returns `true` only if the constraint system
+    /// is contradictory independent of parameters.
+    pub fn is_empty_rational(&self) -> bool {
+        // Eliminate dims, then params, then inspect constant constraints.
+        let mut p = self.eliminate_all_dims();
+        // Reinterpret params as dims so FM can eliminate them too.
+        p = Polyhedron {
+            space: Space::new(p.space.params, 0),
+            constraints: p
+                .constraints
+                .into_iter()
+                .map(|c| Constraint {
+                    expr: LinExpr { space: Space::new(c.expr.space.params, 0), coeffs: c.expr.coeffs },
+                    kind: c.kind,
+                })
+                .collect(),
+        };
+        while p.space.dims > 0 {
+            p = p.eliminate_dim(p.space.dims - 1);
+        }
+        p.constraints.iter().any(|c| {
+            let v = c.expr.const_term();
+            match c.kind {
+                ConstraintKind::GeZero => v < 0,
+                ConstraintKind::EqZero => v != 0,
+            }
+        })
+    }
+
+    /// Lower and upper bounds of dimension `d` as functions of dimensions
+    /// `< d` and the parameters, obtained by eliminating all dimensions
+    /// `> d` first.
+    ///
+    /// Returns `(lowers, uppers)` where each entry is `(coeff, expr)` meaning
+    /// `coeff·d >= -expr` (lower, `coeff > 0`) or `coeff·d <= expr`
+    /// rewritten as: for lowers `d >= ceil(-expr / coeff)` and for uppers
+    /// `d <= floor(expr / |coeff|)`; `expr` has zero coefficients for dims
+    /// `>= d`.
+    pub fn dim_bounds(&self, d: usize) -> (Vec<(i128, LinExpr)>, Vec<(i128, LinExpr)>) {
+        let mut p = self.clone();
+        while p.space.dims > d + 1 {
+            p = p.eliminate_dim(p.space.dims - 1);
+        }
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        for c in &p.constraints {
+            let k = c.expr.dim_coeff(d);
+            let mut rest = c.expr.clone();
+            rest.coeffs[d] = 0;
+            match c.kind {
+                ConstraintKind::GeZero => {
+                    if k > 0 {
+                        lowers.push((k, rest));
+                    } else if k < 0 {
+                        uppers.push((-k, rest));
+                    }
+                }
+                ConstraintKind::EqZero => {
+                    if k != 0 {
+                        // k·d + rest == 0  ⇒  |k|·d == -sign(k)·rest, which
+                        // acts as both a lower bound (|k|·d + sign·rest >= 0)
+                        // and an upper bound (d <= -sign·rest / |k|).
+                        let sign = k.signum();
+                        lowers.push((k * sign, rest.scale(sign)));
+                        uppers.push((k * sign, rest.scale(-sign)));
+                    }
+                }
+            }
+        }
+        (lowers, uppers)
+    }
+
+    /// Enumerates all integer points of a **parameter-free, bounded**
+    /// polyhedron in lexicographic order, invoking `f` on each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron still has parameters or is unbounded in some
+    /// dimension.
+    pub fn for_each_integer_point(&self, mut f: impl FnMut(&[i64])) {
+        assert_eq!(self.space.params, 0, "instantiate parameters before enumerating");
+        // projs[k] = projection of self onto its first k dims.
+        let mut projs: Vec<Polyhedron> = vec![self.clone()];
+        for _ in 0..self.space.dims {
+            let last = projs.last().unwrap();
+            let d = last.space.dims - 1;
+            projs.push(last.eliminate_dim(d));
+        }
+        projs.reverse(); // projs[k] has k dims
+
+        let dims = self.space.dims;
+        let mut point = vec![0i64; dims];
+        fn recurse(
+            projs: &[Polyhedron],
+            full: &Polyhedron,
+            point: &mut Vec<i64>,
+            depth: usize,
+            f: &mut impl FnMut(&[i64]),
+        ) {
+            let dims = point.len();
+            if depth == dims {
+                if full.contains_int(point, &[]) {
+                    f(point);
+                }
+                return;
+            }
+            let p = &projs[depth + 1]; // polyhedron over dims 0..=depth
+            let (lowers, uppers) = p.dim_bounds(depth);
+            // `rest` lives in a (depth+1)-dim space with a zero coefficient
+            // at dim `depth`; pad the evaluation point accordingly.
+            let mut vals: Vec<i64> = point[..depth].to_vec();
+            vals.push(0);
+            // A contradictory projection (e.g. `-1 >= 0` produced by FM from
+            // an empty polyhedron) has no bounds on this dim; bail out early
+            // instead of reporting unboundedness.
+            let contradicted = p.constraints.iter().any(|c| {
+                if c.expr.dim_coeff(depth) != 0 {
+                    return false;
+                }
+                let v = c.expr.eval_int(&vals, &[]);
+                match c.kind {
+                    ConstraintKind::GeZero => v < 0,
+                    ConstraintKind::EqZero => v != 0,
+                }
+            });
+            if contradicted {
+                point[depth] = 0;
+                return;
+            }
+            let mut lo: Option<i64> = None;
+            let mut hi: Option<i64> = None;
+            for (k, rest) in &lowers {
+                // k*d + rest >= 0  =>  d >= ceil(-rest / k)
+                let rest_v = rest.eval_int(&vals, &[]);
+                let bound = Rat::new(-rest_v, *k).ceil() as i64;
+                lo = Some(lo.map_or(bound, |c| c.max(bound)));
+            }
+            for (k, rest) in &uppers {
+                let rest_v = rest.eval_int(&vals, &[]);
+                let bound = Rat::new(rest_v, *k).floor() as i64;
+                hi = Some(hi.map_or(bound, |c| c.min(bound)));
+            }
+            let (lo, hi) = match (lo, hi) {
+                (Some(l), Some(h)) => (l, h),
+                _ => panic!("polyhedron unbounded in dim {depth}"),
+            };
+            for v in lo..=hi {
+                point[depth] = v;
+                recurse(projs, full, point, depth + 1, f);
+            }
+            point[depth] = 0;
+        }
+        recurse(&projs, self, &mut point, 0, &mut f);
+    }
+
+    /// Collects all integer points (see [`Polyhedron::for_each_integer_point`]).
+    pub fn integer_points(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        self.for_each_integer_point(|p| out.push(p.to_vec()));
+        out
+    }
+
+    /// Counts integer points of a parameter-free bounded polyhedron.
+    pub fn count_integer_points(&self) -> u64 {
+        let mut n = 0u64;
+        self.for_each_integer_point(|_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(n: i128) -> Polyhedron {
+        // { (x, y) | 0 <= x < n, 0 <= y < n }
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, 0, n - 1);
+        p.bound_dim(1, 0, n - 1);
+        p
+    }
+
+    #[test]
+    fn contains_and_count_square() {
+        let p = square(4);
+        assert!(p.contains_int(&[0, 0], &[]));
+        assert!(p.contains_int(&[3, 3], &[]));
+        assert!(!p.contains_int(&[4, 0], &[]));
+        assert_eq!(p.count_integer_points(), 16);
+    }
+
+    #[test]
+    fn triangle_count() {
+        // { (i, j) | 0 <= i < 4, i+1 <= j < 4 } — the LU inner domain.
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, 0, 3);
+        // j - i - 1 >= 0
+        p.add_ge0(LinExpr::dim(s, 1).with_dim(0, -1).with_const(-1));
+        // 3 - j >= 0
+        p.add_ge0(LinExpr::dim(s, 1).scale(-1).with_const(3));
+        assert_eq!(p.count_integer_points(), 3 + 2 + 1);
+        let pts = p.integer_points();
+        assert!(pts.contains(&vec![0, 1]));
+        assert!(!pts.contains(&vec![3, 3]));
+    }
+
+    #[test]
+    fn fm_projection_of_triangle() {
+        // project {0<=i<4, i<j<=4} onto i: i in [0, 3]
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, 0, 3);
+        p.add_ge0(LinExpr::dim(s, 1).with_dim(0, -1).with_const(-1)); // j >= i+1
+        p.add_ge0(LinExpr::dim(s, 1).scale(-1).with_const(4)); // j <= 4
+        let q = p.eliminate_dim(1);
+        assert_eq!(q.space().dims, 1);
+        assert!(q.contains_int(&[0], &[]));
+        assert!(q.contains_int(&[3], &[]));
+        assert!(!q.contains_int(&[4], &[]));
+        assert!(!q.contains_int(&[-1], &[]));
+    }
+
+    #[test]
+    fn equality_substitution() {
+        // { (x, y) | x == 2y, 0 <= y <= 3 } project out x
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.add_eq0(LinExpr::dim(s, 0).with_dim(1, -2)); // x - 2y == 0
+        p.bound_dim(1, 0, 3);
+        let q = p.eliminate_dim(0);
+        assert!(q.contains_int(&[0], &[]));
+        assert!(q.contains_int(&[3], &[]));
+        assert!(!q.contains_int(&[4], &[]));
+    }
+
+    #[test]
+    fn emptiness() {
+        let s = Space::new(1, 0);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0).with_const(-10)); // x >= 10
+        p.add_ge0(LinExpr::dim(s, 0).scale(-1).with_const(5)); // x <= 5
+        assert!(p.is_empty_rational());
+
+        let mut q = Polyhedron::universe(s);
+        q.bound_dim(0, 0, 0);
+        assert!(!q.is_empty_rational());
+    }
+
+    #[test]
+    fn parametric_bounds() {
+        // { i | 0 <= i < n } with parameter n
+        let s = Space::new(1, 1);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0)); // i >= 0
+        p.add_ge0(LinExpr::dim(s, 0).scale(-1).with_param(0, 1).with_const(-1)); // n - 1 - i >= 0
+        let (lowers, uppers) = p.dim_bounds(0);
+        assert_eq!(lowers.len(), 1);
+        assert_eq!(uppers.len(), 1);
+        let inst = p.instantiate_params(&[8]);
+        assert_eq!(inst.count_integer_points(), 8);
+    }
+
+    #[test]
+    fn empty_enumeration_is_empty() {
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, 3, 2); // empty range
+        p.bound_dim(1, 0, 5);
+        assert_eq!(p.count_integer_points(), 0);
+    }
+
+    #[test]
+    fn rational_membership() {
+        let p = square(2);
+        assert!(p.contains_rat(&[Rat::new(1, 2), Rat::new(1, 2)], &[]));
+        assert!(!p.contains_rat(&[Rat::new(3, 2), Rat::new(5, 2)], &[]));
+    }
+}

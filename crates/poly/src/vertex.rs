@@ -1,0 +1,203 @@
+//! Vertex enumeration for bounded, parameter-free polyhedra.
+//!
+//! Uses the basis-enumeration method: every vertex of a `d`-dimensional
+//! polyhedron is the unique solution of `d` linearly independent active
+//! constraints. With the small constraint systems produced by loop nests
+//! (a handful of inequalities, `d <= 3`) the `C(m, d)` enumeration is
+//! instantaneous and exact.
+
+use crate::linexpr::LinExpr;
+use crate::polyhedron::{ConstraintKind, Polyhedron};
+use crate::rat::Rat;
+
+/// Solves the square rational system `rows · x = rhs` by Gaussian
+/// elimination. Returns `None` if singular.
+fn solve(rows: &[Vec<Rat>], rhs: &[Rat]) -> Option<Vec<Rat>> {
+    let n = rows.len();
+    let mut a: Vec<Vec<Rat>> = rows
+        .iter()
+        .zip(rhs)
+        .map(|(r, b)| {
+            let mut row = r.clone();
+            row.push(*b);
+            row
+        })
+        .collect();
+    for col in 0..n {
+        // Find pivot.
+        let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot);
+        let p = a[col][col];
+        for c in col..=n {
+            a[col][c] = a[col][c] / p;
+        }
+        for r in 0..n {
+            if r != col && !a[r][col].is_zero() {
+                let factor = a[r][col];
+                for c in col..=n {
+                    a[r][c] = a[r][c] - factor * a[col][c];
+                }
+            }
+        }
+    }
+    Some((0..n).map(|r| a[r][n]).collect())
+}
+
+fn expr_row(e: &LinExpr) -> (Vec<Rat>, Rat) {
+    let d = e.space.dims;
+    let row: Vec<Rat> = (0..d).map(|i| Rat::int(e.dim_coeff(i))).collect();
+    // expr = Σ ci·xi + c ; active means expr == 0, i.e. Σ ci·xi = -c.
+    (row, Rat::int(-e.const_term()))
+}
+
+/// Enumerates the vertices of a parameter-free polyhedron.
+///
+/// Equalities are active in every candidate basis. Returns deduplicated
+/// rational points; an empty result means the polyhedron is empty, a single
+/// point, lower-dimensional with no vertices in the chosen bases, or
+/// unbounded with no vertices at all.
+pub fn vertices(p: &Polyhedron) -> Vec<Vec<Rat>> {
+    assert_eq!(p.space().params, 0, "instantiate parameters before vertex enumeration");
+    let d = p.space().dims;
+    let eqs: Vec<&LinExpr> = p
+        .constraints()
+        .iter()
+        .filter(|c| c.kind == ConstraintKind::EqZero)
+        .map(|c| &c.expr)
+        .collect();
+    let ineqs: Vec<&LinExpr> = p
+        .constraints()
+        .iter()
+        .filter(|c| c.kind == ConstraintKind::GeZero)
+        .map(|c| &c.expr)
+        .collect();
+
+    let need = d.saturating_sub(eqs.len().min(d));
+    let mut out: Vec<Vec<Rat>> = Vec::new();
+
+    for choice in combinations(ineqs.len(), need) {
+        // Assemble the active system: all equalities plus `need` inequalities.
+        let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(d);
+        let mut rhs: Vec<Rat> = Vec::with_capacity(d);
+        for e in eqs.iter().take(d) {
+            let (r, b) = expr_row(e);
+            rows.push(r);
+            rhs.push(b);
+        }
+        for &i in &choice {
+            let (r, b) = expr_row(ineqs[i]);
+            rows.push(r);
+            rhs.push(b);
+        }
+        if rows.len() != d {
+            continue;
+        }
+        if let Some(x) = solve(&rows, &rhs) {
+            if p.contains_rat(&x, &[]) && !out.contains(&x) {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+/// All `k`-element subsets of `0..n`, in lexicographic order.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if k > n {
+        return out;
+    }
+    let mut cur: Vec<usize> = Vec::with_capacity(k);
+    fn rec(n: usize, k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(n, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(n, k, 0, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::Space;
+
+    #[test]
+    fn unit_square_vertices() {
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, 0, 3);
+        p.bound_dim(1, 0, 2);
+        let mut vs = vertices(&p);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vs.len(), 4);
+        assert_eq!(vs[0], vec![Rat::int(0), Rat::int(0)]);
+        assert_eq!(vs[3], vec![Rat::int(3), Rat::int(2)]);
+    }
+
+    #[test]
+    fn triangle_vertices() {
+        // { (i,j) | 0 <= i, 0 <= j, i + j <= 4 }
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0));
+        p.add_ge0(LinExpr::dim(s, 1));
+        p.add_ge0(LinExpr::dim(s, 0).scale(-1).with_dim(1, -1).with_const(4));
+        let mut vs = vertices(&p);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0], vec![Rat::int(0), Rat::int(0)]);
+        assert_eq!(vs[1], vec![Rat::int(0), Rat::int(4)]);
+        assert_eq!(vs[2], vec![Rat::int(4), Rat::int(0)]);
+    }
+
+    #[test]
+    fn rational_vertex() {
+        // { x | 2x <= 5, x >= 0 } in 1-D: vertices at 0 and 5/2.
+        let s = Space::new(1, 0);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0));
+        p.add_ge0(LinExpr::dim(s, 0).scale(-2).with_const(5));
+        let mut vs = vertices(&p);
+        vs.sort();
+        assert_eq!(vs, vec![vec![Rat::int(0)], vec![Rat::new(5, 2)]]);
+    }
+
+    #[test]
+    fn equality_restricts_to_segment() {
+        // { (x,y) | x == y, 0 <= x <= 3 }
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.add_eq0(LinExpr::dim(s, 0).with_dim(1, -1));
+        p.bound_dim(0, 0, 3);
+        let mut vs = vertices(&p);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0], vec![Rat::int(0), Rat::int(0)]);
+        assert_eq!(vs[1], vec![Rat::int(3), Rat::int(3)]);
+    }
+
+    #[test]
+    fn empty_polyhedron_has_no_vertices() {
+        let s = Space::new(1, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, 5, 2);
+        assert!(vertices(&p).is_empty());
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let rows = vec![
+            vec![Rat::int(1), Rat::int(2)],
+            vec![Rat::int(2), Rat::int(4)],
+        ];
+        let rhs = vec![Rat::int(1), Rat::int(2)];
+        assert!(solve(&rows, &rhs).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the polyhedral substrate's invariants.
+
+use dae_poly::{convex_hull, lagrange, LinExpr, Polyhedron, Rat, Space};
+use proptest::prelude::*;
+
+fn rat() -> impl Strategy<Value = Rat> {
+    (-50i128..50, 1i128..10).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    // ---- exact rational arithmetic ------------------------------------
+
+    #[test]
+    fn rat_add_commutes(a in rat(), b in rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rat_mul_distributes(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in rat()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rat::int(f) <= a && a <= Rat::int(c));
+        prop_assert!(c - f <= 1);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    #[test]
+    fn rat_order_consistent_with_sub(a in rat(), b in rat()) {
+        prop_assert_eq!(a < b, (b - a).signum() > 0);
+    }
+
+    // ---- polyhedra ------------------------------------------------------
+
+    /// Counting equals the length of the enumeration, and every enumerated
+    /// point is a member.
+    #[test]
+    fn count_matches_enumeration(
+        x0 in -5i128..5, w in 0i128..6,
+        y0 in -5i128..5, h in 0i128..6,
+        slope in -2i128..3,
+    ) {
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, x0, x0 + w);
+        p.bound_dim(1, y0, y0 + h);
+        // an extra half-plane: y <= slope*x + y0 + h (keeps it bounded)
+        p.add_ge0(
+            LinExpr::dim(s, 1).scale(-1).with_dim(0, slope).with_const(y0 + h),
+        );
+        let pts = p.integer_points();
+        prop_assert_eq!(pts.len() as u64, p.count_integer_points());
+        for pt in &pts {
+            prop_assert!(p.contains_int(pt, &[]));
+        }
+    }
+
+    /// Fourier–Motzkin projection is sound: the projection of any member
+    /// point is a member of the projection.
+    #[test]
+    fn fm_projection_sound(
+        x0 in -4i128..4, w in 0i128..5,
+        y0 in -4i128..4, h in 0i128..5,
+        a in -2i128..3, b in -2i128..3, c in -6i128..7,
+    ) {
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, x0, x0 + w);
+        p.bound_dim(1, y0, y0 + h);
+        p.add_ge0(LinExpr::zero(s).with_dim(0, a).with_dim(1, b).with_const(c));
+        let proj = p.eliminate_dim(1);
+        for pt in p.integer_points() {
+            prop_assert!(
+                proj.contains_int(&[pt[0]], &[]),
+                "projection lost x = {}",
+                pt[0]
+            );
+        }
+    }
+
+    /// The convex hull contains every input point, and its integer count is
+    /// at least the number of distinct integer inputs.
+    #[test]
+    fn hull_contains_inputs(pts in proptest::collection::vec((-6i64..6, -6i64..6), 1..12)) {
+        let rpts: Vec<Vec<Rat>> =
+            pts.iter().map(|(x, y)| vec![Rat::from(*x), Rat::from(*y)]).collect();
+        let hull = convex_hull(2, &rpts);
+        for (x, y) in &pts {
+            prop_assert!(hull.contains_int(&[*x, *y], &[]), "lost ({x},{y})");
+        }
+        let mut distinct = pts.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(hull.count_integer_points() >= distinct.len() as u64);
+    }
+
+    /// Hull membership respects convexity: the midpoint of two input points
+    /// (when integral) is inside.
+    #[test]
+    fn hull_is_convex_on_midpoints(
+        ax in -6i64..6, ay in -6i64..6, bx in -6i64..6, by in -6i64..6,
+    ) {
+        let pts = vec![
+            vec![Rat::from(ax), Rat::from(ay)],
+            vec![Rat::from(bx), Rat::from(by)],
+        ];
+        let hull = convex_hull(2, &pts);
+        if (ax + bx) % 2 == 0 && (ay + by) % 2 == 0 {
+            prop_assert!(hull.contains_int(&[(ax + bx) / 2, (ay + by) / 2], &[]));
+        }
+    }
+
+    /// Instantiating parameters commutes with membership.
+    #[test]
+    fn instantiation_consistent(n in 1i64..8, x in -2i64..10) {
+        let s = Space::new(1, 1);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0));
+        p.add_ge0(LinExpr::dim(s, 0).scale(-1).with_param(0, 1).with_const(-1));
+        let inst = p.instantiate_params(&[n]);
+        prop_assert_eq!(p.contains_int(&[x], &[n]), inst.contains_int(&[x], &[]));
+    }
+
+    // ---- interpolation ---------------------------------------------------
+
+    /// Lagrange interpolation reproduces its sample points exactly.
+    #[test]
+    fn lagrange_reproduces_samples(ys in proptest::collection::vec(-30i64..30, 1..6)) {
+        let pts: Vec<(i64, i64)> =
+            ys.iter().enumerate().map(|(i, y)| (i as i64, *y)).collect();
+        let poly = lagrange(&pts);
+        for (x, y) in &pts {
+            prop_assert_eq!(poly.eval(*x), Rat::from(*y));
+        }
+    }
+
+    /// Vertex enumeration returns points satisfying all constraints.
+    #[test]
+    fn vertices_are_members(
+        x0 in -4i128..4, w in 1i128..5,
+        y0 in -4i128..4, h in 1i128..5,
+    ) {
+        let s = Space::new(2, 0);
+        let mut p = Polyhedron::universe(s);
+        p.bound_dim(0, x0, x0 + w);
+        p.bound_dim(1, y0, y0 + h);
+        let vs = dae_poly::vertices(&p);
+        prop_assert_eq!(vs.len(), 4);
+        for v in vs {
+            prop_assert!(p.contains_rat(&v, &[]));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # dae-power — the DVFS power/energy/EDP model
+//!
+//! Implements the power methodology of §3.2 of the CGO 2014 DAE paper: the
+//! measured Sandybridge model of Koukos et al. (ICS'13) with
+//! `Ceff = 0.19·IPC + 1.64`, `Pdyn = Ceff·f·V²`, static power linear in
+//! `V·f` per active core, plus DVFS transition accounting (static energy
+//! only during the transition) and the exhaustive *Optimal-f* EDP search
+//! used in the evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dae_power::{edp, energy_j, DvfsTable, PowerModel};
+//!
+//! let table = DvfsTable::sandybridge();
+//! let model = PowerModel::sandybridge();
+//! let point = table.point(table.max());
+//!
+//! let time = 0.010; // 10 ms phase
+//! let power = model.total_power_w(point, 1.5, 4);
+//! let e = energy_j(time, power);
+//! assert!(edp(time, e) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod freq;
+pub mod model;
+
+pub use freq::{DvfsTable, FreqId, FreqPoint};
+pub use model::{
+    edp, energy_j, select_optimal_edp, transition_cost, DvfsConfig, PowerModel,
+};

@@ -1,0 +1,120 @@
+//! Runtime configuration and frequency policies.
+
+use dae_mem::HierarchyConfig;
+use dae_power::{DvfsConfig, DvfsTable, FreqId, PowerModel};
+use dae_sim::TimingConfig;
+
+/// How the runtime picks frequencies for task phases (§3.1 and §6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreqPolicy {
+    /// Coupled execution, everything at fmax (the normalisation baseline).
+    CoupledMax,
+    /// Coupled execution at a fixed frequency.
+    CoupledFixed(FreqId),
+    /// Coupled execution, per-task exhaustive optimal-EDP frequency
+    /// ("CAE (Optimal f.)").
+    CoupledOptimal,
+    /// DAE: access at fmin, execute at fmax ("Min/Max f.").
+    DaeMinMax,
+    /// DAE: per-phase exhaustive optimal-EDP frequency ("Optimal f.").
+    DaeOptimal,
+    /// DAE with explicit per-phase frequencies (used by the Figure 4
+    /// sweeps: access pinned, execute varied).
+    DaePhases {
+        /// Frequency of the access phase.
+        access: FreqId,
+        /// Frequency of the execute phase.
+        execute: FreqId,
+    },
+}
+
+impl FreqPolicy {
+    /// True for policies that run the access phase before the execute
+    /// phase.
+    pub fn is_decoupled(self) -> bool {
+        matches!(self, FreqPolicy::DaeMinMax | FreqPolicy::DaeOptimal | FreqPolicy::DaePhases { .. })
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of simulated cores (the paper's machine: 4).
+    pub cores: usize,
+    /// Cache geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Timing-model calibration.
+    pub timing: TimingConfig,
+    /// Available DVFS operating points.
+    pub table: DvfsTable,
+    /// Power model.
+    pub power: PowerModel,
+    /// DVFS transition behaviour.
+    pub dvfs: DvfsConfig,
+    /// Frequency policy.
+    pub policy: FreqPolicy,
+    /// Fixed per-task runtime overhead in seconds (queue operations,
+    /// scheduling) — part of the O.S.I. accounting.
+    pub task_overhead_s: f64,
+}
+
+impl RuntimeConfig {
+    /// The paper's evaluation setup: quad-core Sandybridge-like machine,
+    /// 500 ns DVFS latency, coupled-at-fmax baseline policy.
+    pub fn paper_default() -> Self {
+        RuntimeConfig {
+            cores: 4,
+            hierarchy: HierarchyConfig::default(),
+            timing: TimingConfig::default(),
+            table: DvfsTable::sandybridge(),
+            power: PowerModel::sandybridge(),
+            dvfs: DvfsConfig::latency_500ns(),
+            policy: FreqPolicy::CoupledMax,
+            task_overhead_s: 150e-9,
+        }
+    }
+
+    /// Same machine with a different policy.
+    pub fn with_policy(mut self, policy: FreqPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same machine with a different DVFS transition latency.
+    pub fn with_dvfs(mut self, dvfs: DvfsConfig) -> Self {
+        self.dvfs = dvfs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_quad_core() {
+        let c = RuntimeConfig::paper_default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.dvfs.transition_s, 500e-9);
+        assert_eq!(c.policy, FreqPolicy::CoupledMax);
+    }
+
+    #[test]
+    fn decoupled_classification() {
+        assert!(FreqPolicy::DaeMinMax.is_decoupled());
+        assert!(FreqPolicy::DaeOptimal.is_decoupled());
+        assert!(!FreqPolicy::CoupledMax.is_decoupled());
+        assert!(!FreqPolicy::CoupledOptimal.is_decoupled());
+        let t = DvfsTable::sandybridge();
+        assert!(FreqPolicy::DaePhases { access: t.min(), execute: t.max() }.is_decoupled());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = RuntimeConfig::paper_default()
+            .with_policy(FreqPolicy::DaeMinMax)
+            .with_dvfs(DvfsConfig::instant());
+        assert_eq!(c.policy, FreqPolicy::DaeMinMax);
+        assert_eq!(c.dvfs.transition_s, 0.0);
+    }
+}

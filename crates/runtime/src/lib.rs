@@ -1,0 +1,36 @@
+//! # dae-runtime — task-based runtime with per-phase DVFS
+//!
+//! The runtime system of §3.1 of the CGO 2014 DAE paper, simulated in
+//! deterministic virtual time: per-core task deques with **work stealing**,
+//! the **access phase executed immediately before the execute phase on the
+//! same core** (so the private caches stay warm), per-phase **DVFS**
+//! (naive min/max and exhaustive optimal-EDP policies), transition-latency
+//! accounting, and the O.S.I. (overhead / sequential / idle) bookkeeping
+//! that Figure 4 stacks.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
+//! use dae_sim::Val;
+//! # let module = dae_ir::Module::new();
+//! # let exec = dae_ir::FuncId(0);
+//! # let access = dae_ir::FuncId(1);
+//!
+//! let tasks: Vec<TaskInstance> =
+//!     (0..64).map(|k| TaskInstance::decoupled(exec, access, vec![Val::I(k * 512)])).collect();
+//! let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaeOptimal);
+//! let report = run_workload(&module, &tasks, &cfg)?;
+//! println!("time {:.3} ms, EDP {:.3e}", report.time_s * 1e3, report.edp());
+//! # Ok::<(), dae_sim::InterpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod sched;
+
+pub use config::{FreqPolicy, RuntimeConfig};
+pub use report::{Breakdown, RunReport};
+pub use sched::{run_workload, TaskInstance};

@@ -1,0 +1,109 @@
+//! Run reports: time, energy, EDP and the O.S.I. breakdown of Figure 4.
+
+use dae_sim::PhaseTrace;
+
+/// Aggregated timing of one run, split the way Figure 4 stacks it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Total time spent in access ("Prefetch") phases, across cores.
+    pub access_s: f64,
+    /// Total time spent in execute ("Task") phases, across cores.
+    pub execute_s: f64,
+    /// Overhead: DVFS transitions plus per-task runtime cost.
+    pub overhead_s: f64,
+    /// Idle core-time (makespan × cores − busy time).
+    pub idle_s: f64,
+}
+
+impl Breakdown {
+    /// Overhead + idle, the paper's "O.S.I." bar.
+    pub fn osi_s(&self) -> f64 {
+        self.overhead_s + self.idle_s
+    }
+}
+
+/// The result of one workload run under one configuration.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Makespan in seconds (the paper's Time).
+    pub time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Number of task instances executed.
+    pub tasks: usize,
+    /// Core-time breakdown.
+    pub breakdown: Breakdown,
+    /// Merged trace of all access phases.
+    pub access_trace: PhaseTrace,
+    /// Merged trace of all execute phases.
+    pub execute_trace: PhaseTrace,
+}
+
+impl RunReport {
+    /// Energy-delay product `T² · P = T · E`.
+    pub fn edp(&self) -> f64 {
+        self.time_s * self.energy_j
+    }
+
+    /// Average access-phase duration in microseconds (Table 1's `TA`).
+    pub fn ta_us(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.breakdown.access_s / self.tasks as f64 * 1e6
+        }
+    }
+
+    /// Fraction of busy time spent in the access phase, in percent
+    /// (Table 1's `TA%`).
+    pub fn ta_percent(&self) -> f64 {
+        let busy = self.breakdown.access_s + self.breakdown.execute_s;
+        if busy == 0.0 {
+            0.0
+        } else {
+            self.breakdown.access_s / busy * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            time_s: 2.0,
+            energy_j: 10.0,
+            tasks: 4,
+            breakdown: Breakdown { access_s: 0.4, execute_s: 1.6, overhead_s: 0.1, idle_s: 0.3 },
+            access_trace: PhaseTrace::default(),
+            execute_trace: PhaseTrace::default(),
+        }
+    }
+
+    #[test]
+    fn edp_is_time_times_energy() {
+        assert_eq!(report().edp(), 20.0);
+    }
+
+    #[test]
+    fn table1_metrics() {
+        let r = report();
+        assert!((r.ta_us() - 0.1e6).abs() < 1e-9);
+        assert!((r.ta_percent() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn osi_combines_overhead_and_idle() {
+        assert!((report().breakdown.osi_s() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_task_report_is_safe() {
+        let mut r = report();
+        r.tasks = 0;
+        r.breakdown = Breakdown::default();
+        assert_eq!(r.ta_us(), 0.0);
+        assert_eq!(r.ta_percent(), 0.0);
+    }
+}

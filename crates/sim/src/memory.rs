@@ -1,0 +1,228 @@
+//! Flat simulated memory and the global address layout.
+
+use dae_ir::{GlobalId, GlobalInit, Module, Type};
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Val {
+    /// 64-bit integer.
+    I(i64),
+    /// 64-bit float.
+    F(f64),
+    /// Boolean.
+    B(bool),
+    /// Pointer (simulated address).
+    P(u64),
+}
+
+impl Val {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn as_i(self) -> i64 {
+        match self {
+            Val::I(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a float.
+    pub fn as_f(self) -> f64 {
+        match self {
+            Val::F(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a boolean.
+    pub fn as_b(self) -> bool {
+        match self {
+            Val::B(v) => v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a pointer.
+    pub fn as_p(self) -> u64 {
+        match self {
+            Val::P(v) => v,
+            other => panic!("expected ptr, got {other:?}"),
+        }
+    }
+}
+
+/// Base address of the first global; leaves page zero unmapped so that a
+/// null/garbage pointer dereference fails loudly.
+const GLOBALS_BASE: u64 = 0x1000;
+
+/// Byte-addressed flat memory holding all module globals, 64-byte aligned so
+/// distinct arrays never share a cache line.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    global_addrs: Vec<u64>,
+}
+
+impl Memory {
+    /// Lays out and initialises the globals of `module`.
+    pub fn for_module(module: &Module) -> Memory {
+        let mut addr = GLOBALS_BASE;
+        let mut global_addrs = Vec::with_capacity(module.num_globals());
+        for (_, g) in module.globals() {
+            global_addrs.push(addr);
+            let size = g.size_bytes().max(1);
+            addr += size.div_ceil(64) * 64;
+        }
+        let mut mem = Memory { bytes: vec![0u8; addr as usize], global_addrs };
+        for (id, g) in module.globals() {
+            if let GlobalInit::Words(words) = &g.init {
+                let elem = g.elem_ty.size_bytes();
+                assert_eq!(elem, 8, "word initialisers require 8-byte elements");
+                let base = mem.global_addr(id);
+                for (i, w) in words.iter().enumerate() {
+                    mem.write_u64(base + (i as u64) * 8, *w);
+                }
+            }
+        }
+        mem
+    }
+
+    /// The base address of global `g`.
+    pub fn global_addr(&self, g: GlobalId) -> u64 {
+        self.global_addrs[g.0 as usize]
+    }
+
+    /// Total mapped size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u64, len: u64) {
+        assert!(
+            addr >= GLOBALS_BASE && addr + len <= self.bytes.len() as u64,
+            "memory access out of bounds: addr={addr:#x} len={len}"
+        );
+    }
+
+    /// Reads a raw 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.check(addr, 8);
+        let a = addr as usize;
+        u64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a raw 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.check(addr, 8);
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a typed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or a [`Type::Void`] load.
+    pub fn read(&self, ty: Type, addr: u64) -> Val {
+        match ty {
+            Type::I64 => Val::I(self.read_u64(addr) as i64),
+            Type::F64 => Val::F(f64::from_bits(self.read_u64(addr))),
+            Type::Ptr => Val::P(self.read_u64(addr)),
+            Type::Bool => {
+                self.check(addr, 1);
+                Val::B(self.bytes[addr as usize] != 0)
+            }
+            Type::Void => panic!("cannot load void"),
+        }
+    }
+
+    /// Writes a typed value.
+    pub fn write(&mut self, addr: u64, v: Val) {
+        match v {
+            Val::I(x) => self.write_u64(addr, x as u64),
+            Val::F(x) => self.write_u64(addr, x.to_bits()),
+            Val::P(x) => self.write_u64(addr, x),
+            Val::B(x) => {
+                self.check(addr, 1);
+                self.bytes[addr as usize] = x as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_line_aligned_and_disjoint() {
+        let mut m = Module::new();
+        let a = m.add_global("a", Type::F64, 3); // 24 B -> padded to 64
+        let b = m.add_global("b", Type::I64, 100); // 800 B -> padded to 832
+        let c = m.add_global("c", Type::F64, 1);
+        let mem = Memory::for_module(&m);
+        let (pa, pb, pc) = (mem.global_addr(a), mem.global_addr(b), mem.global_addr(c));
+        assert_eq!(pa % 64, 0);
+        assert_eq!(pb % 64, 0);
+        assert_eq!(pc % 64, 0);
+        assert!(pb >= pa + 24);
+        assert!(pc >= pb + 800);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Module::new();
+        let g = m.add_global("g", Type::F64, 4);
+        let mut mem = Memory::for_module(&m);
+        let base = mem.global_addr(g);
+        mem.write(base, Val::F(3.5));
+        mem.write(base + 8, Val::I(-7));
+        assert_eq!(mem.read(Type::F64, base), Val::F(3.5));
+        assert_eq!(mem.read(Type::I64, base + 8), Val::I(-7));
+    }
+
+    #[test]
+    fn word_initialisers_are_applied() {
+        let mut m = Module::new();
+        let g = m.add_global_init(dae_ir::GlobalData {
+            name: "init".into(),
+            elem_ty: Type::I64,
+            len: 2,
+            init: GlobalInit::Words(vec![42, 43]),
+        });
+        let mem = Memory::for_module(&m);
+        let base = mem.global_addr(g);
+        assert_eq!(mem.read(Type::I64, base), Val::I(42));
+        assert_eq!(mem.read(Type::I64, base + 8), Val::I(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn null_deref_panics() {
+        let m = Module::new();
+        let mem = Memory::for_module(&m);
+        let _ = mem.read(Type::I64, 0);
+    }
+
+    #[test]
+    fn val_accessors() {
+        assert_eq!(Val::I(3).as_i(), 3);
+        assert_eq!(Val::F(2.5).as_f(), 2.5);
+        assert!(Val::B(true).as_b());
+        assert_eq!(Val::P(0x40).as_p(), 0x40);
+    }
+}

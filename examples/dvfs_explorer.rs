@@ -1,0 +1,67 @@
+//! Sweeps a benchmark across every operating point and execution mode,
+//! printing the time/energy/EDP landscape the runtime's Optimal-f policy
+//! searches — a miniature of the paper's Figure 4 methodology.
+//!
+//! Run: `cargo run --release --example dvfs_explorer [lu|cholesky|fft|lbm|libq|cigar|cg]`
+
+use dae_power::{DvfsConfig, DvfsTable, FreqId};
+use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig};
+use dae_workloads::{Variant, Workload};
+
+fn pick(name: &str) -> Workload {
+    match name {
+        "lu" => dae_workloads::lu::build_sized(64, 16),
+        "cholesky" => dae_workloads::cholesky::build_sized(64, 16),
+        "fft" => dae_workloads::fft::build_sized(4096, 4),
+        "lbm" => dae_workloads::lbm::build_sized(256, 128, 4, 1),
+        "libq" => dae_workloads::libq::build_sized(65536, 8192),
+        "cigar" => dae_workloads::cigar::build_sized(1024, 128, 64, 128),
+        "cg" => dae_workloads::cg::build_sized(4096, 16, 512, 1),
+        other => panic!("unknown benchmark `{other}`"),
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "libq".to_string());
+    let mut w = pick(&name);
+    w.compile_auto();
+    let table = DvfsTable::sandybridge();
+
+    println!("{} — time (ms) / energy (mJ) / EDP (uJ·s), 500 ns DVFS latency\n", w.name);
+    println!("{:<26} {:>10} {:>12} {:>12}", "configuration", "time", "energy", "EDP");
+
+    let run = |label: String, variant: Variant, policy: FreqPolicy| {
+        let cfg = RuntimeConfig::paper_default()
+            .with_policy(policy)
+            .with_dvfs(DvfsConfig::latency_500ns());
+        let r = run_workload(&w.module, &w.tasks(variant), &cfg).expect("run");
+        println!(
+            "{:<26} {:>10.3} {:>12.3} {:>12.3}",
+            label,
+            r.time_s * 1e3,
+            r.energy_j * 1e3,
+            r.edp() * 1e6
+        );
+    };
+
+    for i in 0..table.len() {
+        let f = FreqId(i);
+        run(
+            format!("CAE @ {:.1} GHz", table.point(f).ghz),
+            Variant::Cae,
+            FreqPolicy::CoupledFixed(f),
+        );
+    }
+    run("CAE optimal-EDP".into(), Variant::Cae, FreqPolicy::CoupledOptimal);
+    for i in 0..table.len() {
+        let f = FreqId(i);
+        run(
+            format!("Auto DAE exec @ {:.1} GHz", table.point(f).ghz),
+            Variant::AutoDae,
+            FreqPolicy::DaePhases { access: table.min(), execute: f },
+        );
+    }
+    run("Auto DAE min/max".into(), Variant::AutoDae, FreqPolicy::DaeMinMax);
+    run("Auto DAE optimal-EDP".into(), Variant::AutoDae, FreqPolicy::DaeOptimal);
+    run("Manual DAE optimal-EDP".into(), Variant::ManualDae, FreqPolicy::DaeOptimal);
+}

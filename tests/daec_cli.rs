@@ -1,0 +1,83 @@
+//! Integration tests of the `daec` command-line driver.
+
+use std::process::Command;
+
+fn daec(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_daec"))
+        .args(args)
+        .output()
+        .expect("daec runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn example(name: &str) -> String {
+    format!("{}/examples/ir/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn transforms_and_prints_module() {
+    let (ok, stdout, stderr) = daec(&[&example("stream.dae")]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("task fn scale_chunk"), "{stdout}");
+    assert!(stdout.contains("fn scale_chunk__access"), "{stdout}");
+    assert!(stdout.contains("prefetch"), "{stdout}");
+}
+
+#[test]
+fn report_mode_classifies_strategies() {
+    let (ok, stdout, _) = daec(&[&example("stream.dae"), "--report"]);
+    assert!(ok);
+    assert!(stdout.contains("polyhedral"), "{stdout}");
+    let (ok, stdout, _) = daec(&[&example("gather.dae"), "--report"]);
+    assert!(ok);
+    assert!(stdout.contains("skeleton"), "{stdout}");
+}
+
+#[test]
+fn run_mode_reports_dae_benefit() {
+    let (ok, stdout, _) = daec(&[&example("stream.dae"), "--report", "--run"]);
+    assert!(ok);
+    assert!(stdout.contains("CAE@fmax"), "{stdout}");
+    assert!(stdout.contains("DAE opt-f"), "{stdout}");
+    assert!(stdout.contains("EDP"), "{stdout}");
+}
+
+#[test]
+fn no_polyhedral_flag_forces_skeleton() {
+    let (ok, stdout, _) = daec(&[&example("stream.dae"), "--report", "--no-polyhedral"]);
+    assert!(ok);
+    assert!(stdout.contains("skeleton"), "{stdout}");
+    assert!(!stdout.contains("polyhedral"), "{stdout}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (ok, _, stderr) = daec(&["/nonexistent/nope.dae"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (ok, _, stderr) = daec(&["--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+    let (ok, _, stderr) = daec(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let dir = std::env::temp_dir().join("daec_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.dae");
+    std::fs::write(&bad, "fn broken() {\nbb0:\n  v0: i64 = frobnicate 1, 2\n  ret\n}\n").unwrap();
+    let (ok, _, stderr) = daec(&[bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 3"), "{stderr}");
+}

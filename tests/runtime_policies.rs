@@ -1,0 +1,188 @@
+//! Invariants of the frequency policies across the whole policy matrix.
+
+use dae_repro::ir::{FunctionBuilder, Module, Type, Value};
+use dae_repro::power::{DvfsConfig, DvfsTable, FreqId};
+use dae_repro::runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
+use dae_repro::sim::Val;
+
+/// A mixed workload: one streaming (memory-leaning) and one spinning
+/// (compute-bound) task type, with hand-built access phases.
+fn mixed_module() -> (Module, Vec<TaskInstance>) {
+    let mut m = Module::new();
+    let a = m.add_global("a", Type::F64, 1 << 17);
+    let out = m.add_global("out", Type::F64, 8);
+
+    let mut b = FunctionBuilder::new("stream", vec![Type::I64], Type::Void);
+    b.set_task();
+    b.counted_loop(Value::i64(0), Value::i64(4096), Value::i64(1), |b, i| {
+        let idx = b.iadd(Value::Arg(0), i);
+        let p = b.elem_addr(Value::Global(a), idx, Type::F64);
+        let v = b.load(Type::F64, p);
+        let w = b.fadd(v, 1.0f64);
+        b.store(p, w);
+    });
+    b.ret(None);
+    let stream = m.add_function(b.finish());
+
+    let mut b = FunctionBuilder::new("stream__access", vec![Type::I64], Type::Void);
+    b.counted_loop(Value::i64(0), Value::i64(4096), Value::i64(8), |b, i| {
+        let idx = b.iadd(Value::Arg(0), i);
+        let p = b.elem_addr(Value::Global(a), idx, Type::F64);
+        b.prefetch(p);
+    });
+    b.ret(None);
+    let access = m.add_function(b.finish());
+
+    let mut b = FunctionBuilder::new("spin", vec![Type::I64], Type::Void);
+    b.set_task();
+    let o = b.counted_loop_carried(
+        Value::i64(0),
+        Value::Arg(0),
+        Value::i64(1),
+        vec![Value::f64(1.0)],
+        |b, _, c| vec![b.fmul(c[0], 1.0000001f64)],
+    );
+    let p = b.ptr_add(Value::Global(out), 0i64);
+    b.store(p, o[0]);
+    b.ret(None);
+    let spin = m.add_function(b.finish());
+
+    let mut tasks = Vec::new();
+    for k in 0..16 {
+        tasks.push(TaskInstance::decoupled(stream, access, vec![Val::I(k * 4096)]));
+        tasks.push(TaskInstance::coupled(spin, vec![Val::I(8_000)]));
+    }
+    (m, tasks)
+}
+
+fn all_policies(table: &DvfsTable) -> Vec<(&'static str, FreqPolicy)> {
+    vec![
+        ("coupled-max", FreqPolicy::CoupledMax),
+        ("coupled-min", FreqPolicy::CoupledFixed(table.min())),
+        ("coupled-opt", FreqPolicy::CoupledOptimal),
+        ("dae-minmax", FreqPolicy::DaeMinMax),
+        ("dae-opt", FreqPolicy::DaeOptimal),
+        (
+            "dae-phases",
+            FreqPolicy::DaePhases { access: table.min(), execute: FreqId(2) },
+        ),
+    ]
+}
+
+#[test]
+fn every_policy_completes_and_accounts_time() {
+    let (m, tasks) = mixed_module();
+    let base = RuntimeConfig::paper_default();
+    for (name, policy) in all_policies(&base.table) {
+        let r = run_workload(&m, &tasks, &base.clone().with_policy(policy)).unwrap();
+        assert_eq!(r.tasks, tasks.len(), "{name}");
+        assert!(r.time_s > 0.0 && r.energy_j > 0.0, "{name}");
+        // Core-time conservation: makespan*cores >= busy time components.
+        let busy = r.breakdown.access_s + r.breakdown.execute_s + r.breakdown.overhead_s;
+        assert!(
+            busy <= r.time_s * base.cores as f64 + 1e-12,
+            "{name}: busy {} > cores*makespan {}",
+            busy,
+            r.time_s * base.cores as f64
+        );
+        assert!((busy + r.breakdown.idle_s - r.time_s * base.cores as f64).abs() < 1e-9, "{name}");
+    }
+}
+
+#[test]
+fn optimal_edp_is_never_worse_than_fixed_choices() {
+    // The Optimal-f policy optimises each task's EDP *locally* (§6.1). For
+    // homogeneous tasks on one core, the local optimum is the global one:
+    // total EDP = N²·(t·e per task), so optimal must beat every fixed level.
+    let (m, tasks) = mixed_module();
+    let streams: Vec<TaskInstance> = tasks
+        .iter()
+        .filter(|t| t.access.is_some())
+        .map(|t| TaskInstance::coupled(t.func, t.args.clone()))
+        .collect();
+    let mut base = RuntimeConfig::paper_default().with_dvfs(DvfsConfig::instant());
+    base.cores = 1;
+    let opt = run_workload(&m, &streams, &base.clone().with_policy(FreqPolicy::CoupledOptimal))
+        .unwrap()
+        .edp();
+    for i in 0..base.table.len() {
+        let fixed = run_workload(
+            &m,
+            &streams,
+            &base.clone().with_policy(FreqPolicy::CoupledFixed(FreqId(i))),
+        )
+        .unwrap()
+        .edp();
+        assert!(
+            opt <= fixed * 1.001,
+            "optimal {opt} must not lose to fixed level {i} ({fixed})"
+        );
+    }
+}
+
+#[test]
+fn dae_policies_ignore_missing_access_phases() {
+    // Tasks without access phases run coupled even under DAE policies.
+    let (m, tasks) = mixed_module();
+    let coupled_only: Vec<TaskInstance> =
+        tasks.iter().filter(|t| t.access.is_none()).cloned().collect();
+    let base = RuntimeConfig::paper_default();
+    let r = run_workload(&m, &coupled_only, &base.clone().with_policy(FreqPolicy::DaeMinMax))
+        .unwrap();
+    assert_eq!(r.access_trace.instrs, 0);
+    assert_eq!(r.breakdown.access_s, 0.0);
+}
+
+#[test]
+fn coupled_time_is_monotone_in_frequency_for_compute_bound() {
+    let mut m = Module::new();
+    let out = m.add_global("out", Type::F64, 8);
+    let mut b = FunctionBuilder::new("spin", vec![Type::I64], Type::Void);
+    b.set_task();
+    let o = b.counted_loop_carried(
+        Value::i64(0),
+        Value::Arg(0),
+        Value::i64(1),
+        vec![Value::f64(1.0)],
+        |b, _, c| vec![b.fmul(c[0], 1.0000001f64)],
+    );
+    let p = b.ptr_add(Value::Global(out), 0i64);
+    b.store(p, o[0]);
+    b.ret(None);
+    let f = m.add_function(b.finish());
+    let tasks = vec![TaskInstance::coupled(f, vec![Val::I(20_000)])];
+    let base = RuntimeConfig::paper_default();
+    let mut last = f64::INFINITY;
+    for i in 0..base.table.len() {
+        let r = run_workload(
+            &m,
+            &tasks,
+            &base.clone().with_policy(FreqPolicy::CoupledFixed(FreqId(i))),
+        )
+        .unwrap();
+        assert!(r.time_s < last, "time must fall as frequency rises");
+        last = r.time_s;
+    }
+}
+
+#[test]
+fn energy_rises_with_frequency_for_memory_bound() {
+    // For a bandwidth-bound stream, time barely changes with f, so energy
+    // (and EDP) should be worse at fmax than at fmin.
+    let (m, tasks) = mixed_module();
+    let streams: Vec<TaskInstance> =
+        tasks.iter().filter(|t| t.access.is_some()).cloned().collect();
+    // Strip the access phases: plain coupled streaming.
+    let coupled: Vec<TaskInstance> =
+        streams.iter().map(|t| TaskInstance::coupled(t.func, t.args.clone())).collect();
+    let base = RuntimeConfig::paper_default();
+    let lo = run_workload(
+        &m,
+        &coupled,
+        &base.clone().with_policy(FreqPolicy::CoupledFixed(base.table.min())),
+    )
+    .unwrap();
+    let hi = run_workload(&m, &coupled, &base).unwrap();
+    assert!(hi.energy_j > lo.energy_j, "hi {} vs lo {}", hi.energy_j, lo.energy_j);
+    assert!(lo.time_s < hi.time_s * 1.6, "stream should be fairly flat in f");
+}
