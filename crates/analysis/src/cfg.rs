@@ -91,7 +91,8 @@ mod tests {
     fn diamond() -> Function {
         let mut b = FunctionBuilder::new("d", vec![Type::I64], Type::I64);
         let c = b.cmp(dae_ir::CmpOp::Gt, Value::Arg(0), 0i64);
-        let v = b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
+        let v =
+            b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
         b.ret(Some(v[0]));
         b.finish()
     }
@@ -142,12 +143,8 @@ mod tests {
         let f = b.finish();
         let cfg = Cfg::new(&f);
         // find the header: a reachable block with 2 preds (entry + latch)
-        let header = cfg
-            .rpo()
-            .iter()
-            .copied()
-            .find(|&bb| cfg.preds(bb).len() == 2)
-            .expect("loop header");
+        let header =
+            cfg.rpo().iter().copied().find(|&bb| cfg.preds(bb).len() == 2).expect("loop header");
         assert_eq!(cfg.succs(header).len(), 2);
     }
 }

@@ -91,7 +91,8 @@ mod tests {
     fn diamond_dominators() {
         let mut b = FunctionBuilder::new("d", vec![Type::I64], Type::I64);
         let c = b.cmp(CmpOp::Gt, Value::Arg(0), 0i64);
-        let v = b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
+        let v =
+            b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
         b.ret(Some(v[0]));
         let f = b.finish();
         let cfg = Cfg::new(&f);

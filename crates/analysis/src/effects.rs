@@ -55,23 +55,21 @@ pub fn trace_base(func: &Function, mut v: Value) -> Option<GlobalId> {
 /// Computes the [`EffectSummary`] of `func`.
 pub fn summarize(func: &Function) -> EffectSummary {
     let mut s = EffectSummary::default();
-    func.for_each_placed_inst(|_, inst| {
-        match &func.inst(inst).kind {
-            InstKind::Load { addr } => match trace_base(func, *addr) {
-                Some(g) => {
-                    s.reads_globals.insert(g);
-                }
-                None => s.reads_unknown_ptr = true,
-            },
-            InstKind::Store { addr, .. } => match trace_base(func, *addr) {
-                Some(g) => {
-                    s.writes_globals.insert(g);
-                }
-                None => s.writes_unknown_ptr = true,
-            },
-            InstKind::Call { callee, .. } => s.callees.push(*callee),
-            _ => {}
-        }
+    func.for_each_placed_inst(|_, inst| match &func.inst(inst).kind {
+        InstKind::Load { addr } => match trace_base(func, *addr) {
+            Some(g) => {
+                s.reads_globals.insert(g);
+            }
+            None => s.reads_unknown_ptr = true,
+        },
+        InstKind::Store { addr, .. } => match trace_base(func, *addr) {
+            Some(g) => {
+                s.writes_globals.insert(g);
+            }
+            None => s.writes_unknown_ptr = true,
+        },
+        InstKind::Call { callee, .. } => s.callees.push(*callee),
+        _ => {}
     });
     s
 }

@@ -188,10 +188,7 @@ impl LoopForest {
 
     /// The loop with header `header`, if one exists.
     pub fn loop_with_header(&self, header: BlockId) -> Option<LoopId> {
-        self.loops
-            .iter()
-            .position(|l| l.header == header)
-            .map(|i| LoopId(i as u32))
+        self.loops.iter().position(|l| l.header == header).map(|i| LoopId(i as u32))
     }
 }
 
@@ -381,11 +378,7 @@ mod tests {
         depths.sort_unstable();
         assert_eq!(depths, vec![1, 2, 3]);
         // innermost loop's nest chain has length 3
-        let inner = forest
-            .loops()
-            .find(|(_, l)| l.depth == 3)
-            .map(|(id, _)| id)
-            .unwrap();
+        let inner = forest.loops().find(|(_, l)| l.depth == 3).map(|(id, _)| id).unwrap();
         let chain = forest.nest_of(forest.get(inner).header);
         assert_eq!(chain.len(), 3);
         assert_eq!(*chain.last().unwrap(), inner);

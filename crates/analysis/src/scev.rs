@@ -103,10 +103,8 @@ impl Affine {
     pub fn mul(&self, other: &Affine) -> Option<Affine> {
         if let Some(k) = other.as_const() {
             Some(self.scale(k))
-        } else if let Some(k) = self.as_const() {
-            Some(other.scale(k))
         } else {
-            None
+            self.as_const().map(|k| other.scale(k))
         }
     }
 
@@ -187,7 +185,13 @@ impl<'f> ScalarEvolution<'f> {
                 counted.insert(id, c);
             }
         }
-        ScalarEvolution { func, counted, forest, int_memo: HashMap::new(), ptr_memo: HashMap::new() }
+        ScalarEvolution {
+            func,
+            counted,
+            forest,
+            int_memo: HashMap::new(),
+            ptr_memo: HashMap::new(),
+        }
     }
 
     /// The recognised counted loop for `id`, if recognition succeeded.

@@ -71,12 +71,8 @@ pub fn verify_ssa(func: &Function) -> Result<(), SsaError> {
                     )));
                 }
             }
-            Value::BlockParam { block, .. } => {
-                if !dom.dominates(block, use_bb) {
-                    return Err(err(format!(
-                        "param of {block} does not dominate its use in {use_bb}"
-                    )));
-                }
+            Value::BlockParam { block, .. } if !dom.dominates(block, use_bb) => {
+                return Err(err(format!("param of {block} does not dominate its use in {use_bb}")));
             }
             _ => {}
         }

@@ -71,10 +71,10 @@ fn fold_inst(kind: &InstKind) -> Option<Value> {
                 (BinOp::IMul, Some(0), _) | (BinOp::IMul, _, Some(0)) => Some(Value::i64(0)),
                 (BinOp::Shl, _, Some(0)) => Some(*lhs),
                 _ => match (op, lhs.as_f64(), rhs.as_f64()) {
-                    (BinOp::FMul, _, Some(x)) if x == 1.0 => Some(*lhs),
-                    (BinOp::FMul, Some(x), _) if x == 1.0 => Some(*rhs),
-                    (BinOp::FAdd, _, Some(x)) if x == 0.0 => Some(*lhs),
-                    (BinOp::FAdd, Some(x), _) if x == 0.0 => Some(*rhs),
+                    (BinOp::FMul, _, Some(1.0)) => Some(*lhs),
+                    (BinOp::FMul, Some(1.0), _) => Some(*rhs),
+                    (BinOp::FAdd, _, Some(0.0)) => Some(*lhs),
+                    (BinOp::FAdd, Some(0.0), _) => Some(*rhs),
                     _ => None,
                 },
             }

@@ -43,23 +43,19 @@ pub fn eliminate_dead_insts(func: &mut Function) -> bool {
 
     while let Some(v) = work.pop() {
         match v {
-            Value::Inst(id) => {
-                if live_insts.insert(id) {
-                    func.inst(id).kind.for_each_operand(|o| touch(o, &mut work));
-                }
+            Value::Inst(id) if live_insts.insert(id) => {
+                func.inst(id).kind.for_each_operand(|o| touch(o, &mut work));
             }
-            Value::BlockParam { block, index } => {
-                if live_params.insert((block, index)) {
-                    // The matching argument on every incoming edge is live.
-                    for pred in func.block_ids().collect::<Vec<_>>() {
-                        if func.block(pred).term.is_none() {
-                            continue;
-                        }
-                        for dest in func.terminator(pred).successors() {
-                            if dest.block == block {
-                                if let Some(a) = dest.args.get(index as usize) {
-                                    touch(*a, &mut work);
-                                }
+            Value::BlockParam { block, index } if live_params.insert((block, index)) => {
+                // The matching argument on every incoming edge is live.
+                for pred in func.block_ids().collect::<Vec<_>>() {
+                    if func.block(pred).term.is_none() {
+                        continue;
+                    }
+                    for dest in func.terminator(pred).successors() {
+                        if dest.block == block {
+                            if let Some(a) = dest.args.get(index as usize) {
+                                touch(*a, &mut work);
                             }
                         }
                     }
@@ -210,8 +206,7 @@ mod tests {
         assert!(dce_fixpoint(&mut f));
         verify_function(&f, None).unwrap();
         // The accumulator param and its add are gone; the IV machinery stays.
-        let total_params: usize =
-            f.block_ids().map(|bb| f.block(bb).params.len()).sum();
+        let total_params: usize = f.block_ids().map(|bb| f.block(bb).params.len()).sum();
         assert_eq!(total_params, 1, "only the IV should remain");
         let mut adds = 0;
         f.for_each_placed_inst(|_, i| {

@@ -82,16 +82,12 @@ fn inline_one(module: &Module, f: &mut Function, bb: BlockId, pos: usize, call: 
         _ => unreachable!("inline_one called on non-call"),
     };
     let g = module.func(callee);
-    assert!(
-        g.block(g.entry).params.is_empty(),
-        "callee entry block must not take parameters"
-    );
+    assert!(g.block(g.entry).params.is_empty(), "callee entry block must not take parameters");
 
     // Continuation: holds everything after the call, receives the return
     // value as a block parameter.
     let cont = f.add_block();
-    let ret_param =
-        if g.ret != Type::Void { Some(f.add_block_param(cont, g.ret)) } else { None };
+    let ret_param = if g.ret != Type::Void { Some(f.add_block_param(cont, g.ret)) } else { None };
     let tail: Vec<InstId> = f.block(bb).insts[pos + 1..].to_vec();
     f.block_mut(bb).insts.truncate(pos); // also drops the call itself
     f.block_mut(cont).insts = tail;
@@ -112,10 +108,8 @@ fn inline_one(module: &Module, f: &mut Function, bb: BlockId, pos: usize, call: 
     let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
     for gb in g.block_ids() {
         for &gi in &g.block(gb).insts {
-            let placeholder = f.create_inst(
-                InstKind::Prefetch { addr: Value::ConstI64(0) },
-                g.inst(gi).ty,
-            );
+            let placeholder =
+                f.create_inst(InstKind::Prefetch { addr: Value::ConstI64(0) }, g.inst(gi).ty);
             inst_map.insert(gi, placeholder);
         }
     }

@@ -43,7 +43,8 @@ mod tests {
     fn optimize_collapses_constant_diamond() {
         let mut b = FunctionBuilder::new("f", vec![], Type::I64);
         let c = b.cmp(CmpOp::Lt, 3i64, 5i64);
-        let v = b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
+        let v =
+            b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
         b.ret(Some(v[0]));
         let f = optimize(&b.finish());
         verify_function(&f, None).unwrap();
@@ -80,9 +81,6 @@ mod tests {
         b.ret(Some(y));
         let once = optimize(&b.finish());
         let twice = optimize(&once);
-        assert_eq!(
-            dae_ir::print_function(&once, None),
-            dae_ir::print_function(&twice, None)
-        );
+        assert_eq!(dae_ir::print_function(&once, None), dae_ir::print_function(&twice, None));
     }
 }

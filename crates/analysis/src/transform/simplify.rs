@@ -110,10 +110,8 @@ pub fn compact(func: &Function) -> Function {
     let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
     for &bb in cfg.rpo() {
         for &inst in &func.block(bb).insts {
-            let ni = out.create_inst(
-                InstKind::Prefetch { addr: Value::ConstI64(0) },
-                func.inst(inst).ty,
-            );
+            let ni = out
+                .create_inst(InstKind::Prefetch { addr: Value::ConstI64(0) }, func.inst(inst).ty);
             inst_map.insert(inst, ni);
         }
     }
@@ -162,9 +160,11 @@ pub fn skip_trivial_blocks(func: &mut Function) -> bool {
             }
             let n = func.block(bb).params.len();
             let forwards_params = dest.args.len() == n
-                && dest.args.iter().enumerate().all(|(i, a)| {
-                    *a == Value::BlockParam { block: bb, index: i as u32 }
-                })
+                && dest
+                    .args
+                    .iter()
+                    .enumerate()
+                    .all(|(i, a)| *a == Value::BlockParam { block: bb, index: i as u32 })
                 && func.block(dest.block).params.len() == n;
             if forwards_params {
                 forward.insert(bb, dest.block);
@@ -284,7 +284,8 @@ mod tests {
         // A join block with two preds must not be merged into either.
         let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::I64);
         let c = b.cmp(CmpOp::Gt, Value::Arg(0), 0i64);
-        let v = b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
+        let v =
+            b.if_then_else(c, vec![Type::I64], |_| vec![Value::i64(1)], |_| vec![Value::i64(2)]);
         b.ret(Some(v[0]));
         let mut f = b.finish();
         // The arms are each single-pred, empty, and jump to the join — but the

@@ -45,35 +45,34 @@ fn emit_affine(
 ) -> Option<Value> {
     let mut acc = Value::i64(affine.constant);
     let mut acc_is_const = true;
-    let add_term = |func: &mut Function, acc: &mut Value, acc_is_const: &mut bool, v: Value, c: i64| {
-        let scaled = if c == 1 {
-            v
-        } else {
-            let m = func.create_inst(
-                InstKind::Binary { op: BinOp::IMul, lhs: v, rhs: Value::i64(c) },
-                Type::I64,
-            );
-            func.append_inst(block, m);
-            Value::Inst(m)
+    let add_term =
+        |func: &mut Function, acc: &mut Value, acc_is_const: &mut bool, v: Value, c: i64| {
+            let scaled = if c == 1 {
+                v
+            } else {
+                let m = func.create_inst(
+                    InstKind::Binary { op: BinOp::IMul, lhs: v, rhs: Value::i64(c) },
+                    Type::I64,
+                );
+                func.append_inst(block, m);
+                Value::Inst(m)
+            };
+            if *acc_is_const && acc.as_i64() == Some(0) {
+                *acc = scaled;
+            } else {
+                let a = func.create_inst(
+                    InstKind::Binary { op: BinOp::IAdd, lhs: *acc, rhs: scaled },
+                    Type::I64,
+                );
+                func.append_inst(block, a);
+                *acc = Value::Inst(a);
+            }
+            *acc_is_const = false;
         };
-        if *acc_is_const && acc.as_i64() == Some(0) {
-            *acc = scaled;
-        } else {
-            let a = func.create_inst(
-                InstKind::Binary { op: BinOp::IAdd, lhs: *acc, rhs: scaled },
-                Type::I64,
-            );
-            func.append_inst(block, a);
-            *acc = Value::Inst(a);
-        }
-        *acc_is_const = false;
-    };
     for var in affine.vars() {
         let c = affine.coeff(var);
         match var {
-            AffineVar::Param(p) => {
-                add_term(func, &mut acc, &mut acc_is_const, Value::Arg(p), c)
-            }
+            AffineVar::Param(p) => add_term(func, &mut acc, &mut acc_is_const, Value::Arg(p), c),
             AffineVar::Iv(l) => {
                 let v = *iv_values.get(&l)?;
                 add_term(func, &mut acc, &mut acc_is_const, v, c)
@@ -201,9 +200,7 @@ pub fn strength_reduce(func: &mut Function) -> bool {
 
         // Entry value: the affine form with this loop's IV replaced by its
         // init expression, emitted in the (unique) entry predecessor.
-        let init_sub = cand
-            .affine
-            .substitute(AffineVar::Iv(cand.lp), &ctx.init_affine);
+        let init_sub = cand.affine.substitute(AffineVar::Iv(cand.lp), &ctx.init_affine);
         let pred = ctx.entry_preds[0];
         let Some(entry_int) = emit_affine(func, pred, &init_sub, &iv_values) else { continue };
         let (param_ty, entry_val) = match cand.ptr_base {
@@ -345,9 +342,8 @@ mod tests {
             stores += matches!(out.inst(i).kind, InstKind::Store { .. }) as usize;
         });
         assert_eq!(stores, 1);
-        let header_has_ptr_param = out
-            .block_ids()
-            .any(|bb| out.block(bb).params.iter().any(|t| *t == Type::Ptr));
+        let header_has_ptr_param =
+            out.block_ids().any(|bb| out.block(bb).params.iter().any(|t| *t == Type::Ptr));
         assert!(header_has_ptr_param, "{}", dae_ir::print_function(&out, None));
     }
 
@@ -406,6 +402,11 @@ mod tests {
         let before = dae_ir::print_function(&f, None);
         let g = strength_reduce_and_clean(&f);
         // The multiply is of a non-affine chaotic value: unchanged count.
-        assert_eq!(count_muls(&g), 1, "before:\n{before}\nafter:\n{}", dae_ir::print_function(&g, None));
+        assert_eq!(
+            count_muls(&g),
+            1,
+            "before:\n{before}\nafter:\n{}",
+            dae_ir::print_function(&g, None)
+        );
     }
 }

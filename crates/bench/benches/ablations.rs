@@ -15,7 +15,7 @@ use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig};
 use dae_workloads::{lbm, libq, lu, Variant};
 
 /// 1. Hull profitability check: with the check, a gapped two-region access
-/// falls back to the skeleton; without it, the generated nest scans the gap.
+///    falls back to the skeleton; without it, the generated nest scans the gap.
 fn hull_check() {
     use dae_ir::{FunctionBuilder, Module, Type, Value};
     let mut m = Module::new();
@@ -36,7 +36,8 @@ fn hull_check() {
 
     let mut rows = Vec::new();
     for (label, skip) in [("check on (paper)", false), ("check off", true)] {
-        let opts = CompilerOptions { param_hints: vec![64], skip_hull_check: skip, ..Default::default() };
+        let opts =
+            CompilerOptions { param_hints: vec![64], skip_hull_check: skip, ..Default::default() };
         let g = generate_access(&m, task, &opts).expect("generated");
         let (strategy, n_orig, n_conv) = match &g.strategy {
             Strategy::Polyhedral(s) => (1.0, s.n_orig as f64, s.n_conv_un as f64),
@@ -56,7 +57,8 @@ fn cfg_simplify() {
         let mut w = lbm::build_sized(256, 128, 4, 1);
         w.base_options.cfg_simplify = on;
         w.compile_auto();
-        let r = run_variant(&w, Variant::AutoDae, FreqPolicy::DaeMinMax, DvfsConfig::latency_500ns());
+        let r =
+            run_variant(&w, Variant::AutoDae, FreqPolicy::DaeMinMax, DvfsConfig::latency_500ns());
         rows.push(Row {
             label: label.into(),
             values: vec![
@@ -79,10 +81,15 @@ fn line_dedup() {
         let mut w = lu::build_sized(96, 16);
         w.base_options.line_dedup = on;
         w.compile_auto();
-        let r = run_variant(&w, Variant::AutoDae, FreqPolicy::DaeOptimal, DvfsConfig::latency_500ns());
+        let r =
+            run_variant(&w, Variant::AutoDae, FreqPolicy::DaeOptimal, DvfsConfig::latency_500ns());
         rows.push(Row {
             label: label.into(),
-            values: vec![r.access_trace.prefetches as f64, r.breakdown.access_s * 1e3, r.edp() * 1e6],
+            values: vec![
+                r.access_trace.prefetches as f64,
+                r.breakdown.access_s * 1e3,
+                r.edp() * 1e6,
+            ],
         });
     }
     let cols = ["prefetches", "access (ms)", "EDP (uJ*s)"];
@@ -97,7 +104,8 @@ fn store_prefetch() {
         let mut w = lbm::build_sized(256, 128, 4, 1);
         w.base_options.prefetch_writes = on;
         w.compile_auto();
-        let r = run_variant(&w, Variant::AutoDae, FreqPolicy::DaeOptimal, DvfsConfig::latency_500ns());
+        let r =
+            run_variant(&w, Variant::AutoDae, FreqPolicy::DaeOptimal, DvfsConfig::latency_500ns());
         rows.push(Row {
             label: label.into(),
             values: vec![r.access_trace.prefetches as f64, r.time_s * 1e3, r.edp() * 1e6],

@@ -47,12 +47,9 @@ fn bench_polyhedral_substrate(c: &mut Criterion) {
     p.bound_dim(0, 0, 63);
     p.add_ge0(LinExpr::dim(s, 1).with_dim(0, -1).with_const(-1));
     p.add_ge0(LinExpr::dim(s, 1).scale(-1).with_const(63));
-    c.bench_function("poly/count_triangle_64", |b| {
-        b.iter(|| black_box(&p).count_integer_points())
-    });
-    let pts: Vec<Vec<Rat>> = (0..64)
-        .map(|k| vec![Rat::from(k % 13), Rat::from((k * 7) % 17)])
-        .collect();
+    c.bench_function("poly/count_triangle_64", |b| b.iter(|| black_box(&p).count_integer_points()));
+    let pts: Vec<Vec<Rat>> =
+        (0..64).map(|k| vec![Rat::from(k % 13), Rat::from((k * 7) % 17)]).collect();
     c.bench_function("poly/hull_64_points", |b| b.iter(|| convex_hull(2, black_box(&pts))));
 }
 

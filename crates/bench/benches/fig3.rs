@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo bench -p dae-bench --bench fig3`
 
-use dae_bench::{geomean, print_table, run_variant, write_csv, Row};
+use dae_bench::{geomean, print_table, run_variant, write_csv, write_summary_json, Row};
 use dae_power::DvfsConfig;
 use dae_runtime::FreqPolicy;
 use dae_workloads::{all_benchmarks, Variant};
@@ -24,18 +24,21 @@ fn run_scenario(latency_label: &str, dvfs: DvfsConfig) {
     let mut time_rows = Vec::new();
     let mut energy_rows = Vec::new();
     let mut edp_rows = Vec::new();
+    let mut reports = Vec::new();
 
     for mut w in all_benchmarks() {
         w.compile_auto();
         let base = run_variant(&w, Variant::Cae, FreqPolicy::CoupledMax, dvfs);
+        reports.push((format!("{}/CAE fmax", w.name), base.clone()));
         let mut t = Vec::new();
         let mut e = Vec::new();
         let mut x = Vec::new();
-        for (_, variant, policy) in CONFIGS {
+        for (label, variant, policy) in CONFIGS {
             let r = run_variant(&w, variant, policy, dvfs);
             t.push(r.time_s / base.time_s);
             e.push(r.energy_j / base.energy_j);
             x.push(r.edp() / base.edp());
+            reports.push((format!("{}/{label}", w.name), r));
         }
         time_rows.push(Row { label: w.name.to_string(), values: t });
         energy_rows.push(Row { label: w.name.to_string(), values: e });
@@ -44,8 +47,7 @@ fn run_scenario(latency_label: &str, dvfs: DvfsConfig) {
 
     for rows in [&mut time_rows, &mut energy_rows, &mut edp_rows] {
         let n = rows[0].values.len();
-        let gm: Vec<f64> =
-            (0..n).map(|c| geomean(rows.iter().map(|r| r.values[c]))).collect();
+        let gm: Vec<f64> = (0..n).map(|c| geomean(rows.iter().map(|r| r.values[c]))).collect();
         rows.push(Row { label: "G.Mean".to_string(), values: gm });
     }
 
@@ -71,14 +73,17 @@ fn run_scenario(latency_label: &str, dvfs: DvfsConfig) {
     write_csv(&format!("fig3_time_{suffix}"), &columns, &time_rows);
     write_csv(&format!("fig3_energy_{suffix}"), &columns, &energy_rows);
     write_csv(&format!("fig3_edp_{suffix}"), &columns, &edp_rows);
+    write_summary_json(&format!("fig3_{suffix}"), &reports);
 
     let gm = &edp_rows.last().expect("geomean row").values;
-    println!("\n[{latency_label}] EDP improvement (geomean): Manual opt-f {:.1}%  Auto opt-f {:.1}%",
+    println!(
+        "\n[{latency_label}] EDP improvement (geomean): Manual opt-f {:.1}%  Auto opt-f {:.1}%",
         (1.0 - gm[2]) * 100.0,
         (1.0 - gm[4]) * 100.0
     );
     let tm = &time_rows.last().expect("geomean row").values;
-    println!("[{latency_label}] Time penalty (geomean): Manual opt-f {:+.1}%  Auto opt-f {:+.1}%",
+    println!(
+        "[{latency_label}] Time penalty (geomean): Manual opt-f {:+.1}%  Auto opt-f {:+.1}%",
         (tm[2] - 1.0) * 100.0,
         (tm[4] - 1.0) * 100.0
     );
@@ -88,6 +93,8 @@ fn main() {
     println!("Figure 3 — DAE vs regular task execution");
     run_scenario("500ns", DvfsConfig::latency_500ns());
     run_scenario("0ns", DvfsConfig::instant());
-    println!("\npaper reference @500ns: EDP improvement 23% (Manual) / 25% (Auto), ~4% time penalty");
+    println!(
+        "\npaper reference @500ns: EDP improvement 23% (Manual) / 25% (Auto), ~4% time penalty"
+    );
     println!("paper reference @0ns:   EDP improvement 25% (Manual) / 29% (Auto), slight time win");
 }

@@ -54,7 +54,12 @@ fn run_app(w: &mut Workload, fig_t: &str, fig_e: &str) {
     );
     write_csv(&format!("fig4{fig_t}_{}_time", w.name.to_lowercase()), &t_cols, &time_rows);
     let e_cols = ["Energy (J)"];
-    print_table(&format!("Figure 4({fig_e}) — {} energy profile", w.name), &e_cols, &energy_rows, 6);
+    print_table(
+        &format!("Figure 4({fig_e}) — {} energy profile", w.name),
+        &e_cols,
+        &energy_rows,
+        6,
+    );
     write_csv(&format!("fig4{fig_e}_{}_energy", w.name.to_lowercase()), &e_cols, &energy_rows);
 }
 

@@ -7,6 +7,8 @@
 //!   report,
 //! * [`Row`]/[`print_table`]/[`write_csv`] — aligned text tables on stdout
 //!   plus CSV files under `target/repro/`,
+//! * [`write_summary_json`] — machine-readable `BENCH_<name>.json` files
+//!   with the full [`RunReport`] per configuration,
 //! * [`geomean`] — the paper's summary statistic.
 //!
 //! | Bench target | Regenerates |
@@ -21,6 +23,7 @@
 
 use dae_power::DvfsConfig;
 use dae_runtime::{run_workload, FreqPolicy, RunReport, RuntimeConfig};
+use dae_trace::json::JsonValue;
 use dae_workloads::{Variant, Workload};
 use std::fs;
 use std::path::PathBuf;
@@ -37,8 +40,7 @@ pub fn run_variant(
     dvfs: DvfsConfig,
 ) -> RunReport {
     let cfg = RuntimeConfig::paper_default().with_policy(policy).with_dvfs(dvfs);
-    run_workload(&w.module, &w.tasks(variant), &cfg)
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    run_workload(&w.module, &w.tasks(variant), &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
 /// The output directory for CSV artefacts (`target/repro`).
@@ -94,6 +96,33 @@ pub fn write_csv(name: &str, columns: &[&str], rows: &[Row]) {
     println!("   -> {}", path.display());
 }
 
+/// Writes full run reports as `target/repro/BENCH_<name>.json` — one
+/// labelled [`RunReport`] per entry, serialised with the hand-rolled JSON
+/// writer so downstream plotting needs no CSV re-parsing.
+pub fn write_summary_json(name: &str, entries: &[(String, RunReport)]) {
+    let v = JsonValue::obj([
+        ("schema", "dae-bench-report/1".into()),
+        ("bench", name.into()),
+        (
+            "runs",
+            JsonValue::Arr(
+                entries
+                    .iter()
+                    .map(|(label, report)| {
+                        JsonValue::obj([
+                            ("label", label.as_str().into()),
+                            ("report", report.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = out_dir().join(format!("BENCH_{name}.json"));
+    fs::write(&path, v.to_json_string()).expect("write bench json");
+    println!("   -> {}", path.display());
+}
+
 /// Geometric mean of positive values.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
@@ -125,5 +154,20 @@ mod tests {
         let w = dae_workloads::lu::build_sized(16, 8);
         let r = run_variant(&w, Variant::Cae, FreqPolicy::CoupledMax, DvfsConfig::latency_500ns());
         assert!(r.time_s > 0.0);
+    }
+
+    #[test]
+    fn summary_json_carries_labelled_reports() {
+        let w = dae_workloads::lu::build_sized(16, 8);
+        let r = run_variant(&w, Variant::Cae, FreqPolicy::CoupledMax, DvfsConfig::latency_500ns());
+        write_summary_json("unit_test", &[("lu/cae".to_string(), r.clone())]);
+        let text = fs::read_to_string(out_dir().join("BENCH_unit_test.json")).unwrap();
+        let v = dae_trace::json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("dae-bench-report/1"));
+        let runs = v.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].get("label").unwrap().as_str(), Some("lu/cae"));
+        let time = runs[0].get("report").unwrap().get("time_s").unwrap().as_f64().unwrap();
+        assert_eq!(time.to_bits(), r.time_s.to_bits());
     }
 }

@@ -43,16 +43,17 @@ pub struct AffineAccess {
     pub subscripts: Vec<SubScript>,
 }
 
+/// Key of an access class (§5.1): array identity plus per-subscript
+/// `(stride, parameter coefficients)`.
+pub type ClassKey = (GlobalId, Vec<(i64, Vec<i64>)>);
+
 impl AffineAccess {
     /// The class key of §5.1: array identity, subscript strides and the
     /// parameter parts must all match for two accesses to share a class.
-    pub fn class_key(&self) -> (GlobalId, Vec<(i64, Vec<i64>)>) {
+    pub fn class_key(&self) -> ClassKey {
         (
             self.global,
-            self.subscripts
-                .iter()
-                .map(|s| (s.stride_elems, s.param_coeffs.clone()))
-                .collect(),
+            self.subscripts.iter().map(|s| (s.stride_elems, s.param_coeffs.clone())).collect(),
         )
     }
 }
@@ -168,14 +169,9 @@ fn build_domain(
         let dim_v = LinExpr::dim(space, k);
         if init_has_params {
             // Normalise: iv = init + step·k, 0 <= k < trip count.
-            subst
-                .insert(*lp, init.add(&Affine::var(AffineVar::Iv(*lp)).scale(counted.step)));
+            subst.insert(*lp, init.add(&Affine::var(AffineVar::Iv(*lp)).scale(counted.step)));
             dom.add_ge0(dim_v.clone()); // k >= 0
-            let diff = if counted.step == 1 {
-                bound_e.sub(&init_e)
-            } else {
-                init_e.sub(&bound_e)
-            };
+            let diff = if counted.step == 1 { bound_e.sub(&init_e) } else { init_e.sub(&bound_e) };
             match (counted.step, counted.cmp) {
                 (1, CmpOp::Lt) | (1, CmpOp::Ne) | (-1, CmpOp::Gt) | (-1, CmpOp::Ne) => {
                     dom.add_ge0(diff.sub(&dim_v).add(&LinExpr::constant(space, -1)));
@@ -341,8 +337,7 @@ pub fn analyze_task(module: &Module, task: &Function) -> TaskAccessInfo {
         .forest
         .loops()
         .filter(|(id, _)| {
-            !loop_has_nonaffine.get(id).copied().unwrap_or(false)
-                && scev.counted(*id).is_some()
+            !loop_has_nonaffine.get(id).copied().unwrap_or(false) && scev.counted(*id).is_some()
         })
         .count();
     info
@@ -405,7 +400,11 @@ fn describe_load(
             // fell back to 1-D).
             let k = subscripts
                 .iter()
-                .position(|s| c % s.stride_elems == 0 && (c / s.stride_elems).abs() >= 1 && s.stride_elems == c.abs())
+                .position(|s| {
+                    c % s.stride_elems == 0
+                        && (c / s.stride_elems).abs() >= 1
+                        && s.stride_elems == c.abs()
+                })
                 .or_else(|| subscripts.iter().position(|s| c % s.stride_elems == 0))?;
             let stride = subscripts[k].stride_elems;
             subscripts[k].residual =
@@ -547,7 +546,8 @@ mod tests {
         // A[Ax + i] and A[Dx + i] — Listing 3's two classes.
         let mut m = Module::new();
         let a = m.add_global("A", Type::F64, 4096);
-        let mut b = FunctionBuilder::new("blocks", vec![Type::I64, Type::I64, Type::I64], Type::Void);
+        let mut b =
+            FunctionBuilder::new("blocks", vec![Type::I64, Type::I64, Type::I64], Type::Void);
         b.counted_loop(Value::i64(0), Value::i64(32), Value::i64(1), |b, i| {
             let i1 = b.iadd(Value::Arg(1), i);
             let p1 = b.elem_addr(Value::Global(a), i1, Type::F64);

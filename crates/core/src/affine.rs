@@ -15,12 +15,12 @@
 //! 5. emit a fresh IR function that scans the hulls and prefetches
 //!    `base + elem·Σ strideₖ·(dimₖ + param-partₖ)` for every class.
 
-use crate::access_info::{AffineAccess, TaskAccessInfo};
+use crate::access_info::{AffineAccess, ClassKey, TaskAccessInfo};
 use crate::options::{AffineStats, CompilerOptions};
 use dae_ir::{Function, FunctionBuilder, GlobalId, Type, Value};
 use dae_poly::{
-    convex_hull, count_union_distinct, extract_loop_nest, AffineImage, LinExpr, LoopNestSpec,
-    Rat, Space,
+    convex_hull, count_union_distinct, extract_loop_nest, AffineImage, LinExpr, LoopNestSpec, Rat,
+    Space,
 };
 use std::collections::HashMap;
 
@@ -63,8 +63,7 @@ pub fn generate_affine_access(
     let hints = &opts.param_hints[..];
 
     // 1. classes
-    let mut class_map: HashMap<(GlobalId, Vec<(i64, Vec<i64>)>), Vec<&AffineAccess>> =
-        HashMap::new();
+    let mut class_map: HashMap<ClassKey, Vec<&AffineAccess>> = HashMap::new();
     for acc in &info.affine {
         class_map.entry(acc.class_key()).or_default().push(acc);
     }
@@ -121,11 +120,7 @@ pub fn generate_affine_access(
             global,
             elem_bytes: accs[0].elem_bytes,
             strides: accs[0].subscripts.iter().map(|s| s.stride_elems).collect(),
-            param_parts: accs[0]
-                .subscripts
-                .iter()
-                .map(|s| s.param_coeffs.clone())
-                .collect(),
+            param_parts: accs[0].subscripts.iter().map(|s| s.param_coeffs.clone()).collect(),
             n_orig,
             n_conv: n_conv.max(1),
             nest,
@@ -152,17 +147,19 @@ pub fn generate_affine_access(
     }
 
     // 5. codegen
-    let mut b = FunctionBuilder::new(format!("{}__access", task.name), task.params.clone(), Type::Void);
+    let mut b =
+        FunctionBuilder::new(format!("{}__access", task.name), task.params.clone(), Type::Void);
     for (spec, members) in &groups {
         let line_step = if opts.line_dedup
-            && members.iter().all(|&i| {
-                classes[i].strides.last() == Some(&1) && classes[i].elem_bytes == 8
-            }) {
+            && members
+                .iter()
+                .all(|&i| classes[i].strides.last() == Some(&1) && classes[i].elem_bytes == 8)
+        {
             8
         } else {
             1
         };
-        emit_nest(&mut b, spec, 0, &mut Vec::new(), &classes, members, line_step);
+        emit_nest(&mut b, spec, 0, &[], &classes, members, line_step);
     }
     b.ret(None);
     // -O3-style clean-up including strength reduction: the scanning nests
@@ -231,7 +228,7 @@ fn emit_nest(
     b: &mut FunctionBuilder,
     spec: &LoopNestSpec,
     depth: usize,
-    dims: &mut Vec<Value>,
+    dims: &[Value],
     classes: &[Class],
     members: &[usize],
     line_step: i64,
@@ -271,10 +268,10 @@ fn emit_nest(
     // A recursive closure is awkward with FnOnce; use explicit recursion by
     // capturing the needed state in a helper.
     let spec_c = spec.clone();
-    let mut dims_c = dims.clone();
+    let mut dims_c = dims.to_vec();
     b.counted_loop(lo, hi, Value::i64(step), |b, iv| {
         dims_c.push(iv);
-        emit_nest(b, &spec_c, depth + 1, &mut dims_c, classes, members, line_step);
+        emit_nest(b, &spec_c, depth + 1, &dims_c, classes, members, line_step);
     });
 }
 
@@ -427,11 +424,8 @@ mod tests {
         let mut m = Module::new();
         let a = m.add_global("A", Type::F64, (n * n) as u64);
         // params: Ax, Ay, Dx, Dy (block size fixed for simplicity)
-        let mut b = FunctionBuilder::new(
-            "t",
-            vec![Type::I64, Type::I64, Type::I64, Type::I64],
-            Type::Void,
-        );
+        let mut b =
+            FunctionBuilder::new("t", vec![Type::I64, Type::I64, Type::I64, Type::I64], Type::Void);
         b.counted_loop(Value::i64(0), Value::i64(blk), Value::i64(1), |b, j| {
             b.counted_loop(Value::i64(0), Value::i64(blk), Value::i64(1), |b, k| {
                 let a1 = {
@@ -496,11 +490,8 @@ mod tests {
             CompilerOptions { param_hints: vec![16], skip_hull_check: true, ..Default::default() };
         assert!(generate_affine_access(&f, &info, &opts2).is_some());
         // …and a large enough threshold also admits it.
-        let opts3 = CompilerOptions {
-            param_hints: vec![16],
-            hull_threshold: 2000,
-            ..Default::default()
-        };
+        let opts3 =
+            CompilerOptions { param_hints: vec![16], hull_threshold: 2000, ..Default::default() };
         assert!(generate_affine_access(&f, &info, &opts3).is_some());
     }
 

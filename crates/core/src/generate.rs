@@ -106,8 +106,7 @@ pub(crate) fn tests_support_lu_inner() -> (Module, FuncId, i64) {
     let blk = 8i64;
     let mut m = Module::new();
     let a = m.add_global("A", Type::F64, (n * n) as u64);
-    let mut b =
-        FunctionBuilder::new("lu_inner", vec![Type::I64, Type::I64, Type::I64], Type::Void);
+    let mut b = FunctionBuilder::new("lu_inner", vec![Type::I64, Type::I64, Type::I64], Type::Void);
     b.set_task();
     let (k0, i0, j0) = (Value::Arg(0), Value::Arg(1), Value::Arg(2));
     b.counted_loop(Value::i64(0), Value::i64(blk), Value::i64(1), |b, i| {

@@ -51,10 +51,7 @@ pub fn footprint_bytes(module: &Module, task: FuncId, param_values: &[i64]) -> O
                 e
             })
             .collect();
-        per_class
-            .entry(key)
-            .or_default()
-            .push(dae_poly::AffineImage::new(acc.domain.clone(), map));
+        per_class.entry(key).or_default().push(dae_poly::AffineImage::new(acc.domain.clone(), map));
     }
     let mut total = 0u64;
     for (key, images) in per_class {
@@ -131,8 +128,10 @@ mod tests {
         // Candidate chunk sizes 256..8192; budget 64 KiB; footprint is
         // 16·chunk bytes, so the largest fitting chunk is 4096.
         let mut m = Module::new();
-        let tasks: Vec<(i64, FuncId)> =
-            [256, 512, 1024, 2048, 4096, 8192].iter().map(|&c| (c, chunk_task(&mut m, c))).collect();
+        let tasks: Vec<(i64, FuncId)> = [256, 512, 1024, 2048, 4096, 8192]
+            .iter()
+            .map(|&c| (c, chunk_task(&mut m, c)))
+            .collect();
         let budget = 64 * 1024;
         // Emulate a size sweep: each candidate has its own task build.
         let mut best = None;

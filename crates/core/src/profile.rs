@@ -128,16 +128,12 @@ mod tests {
         let task = hot_task(&mut m);
         let p = profile_task(&m, task, &[vec![]]).expect("profiled");
         // Exactly one data-dependent conditional; taken 63/64.
-        let hot = p
-            .counts
-            .values()
-            .find(|(t, n)| *t + *n == 64 && *t == 63)
-            .is_some();
+        let hot = p.counts.values().find(|(t, n)| *t + *n == 64 && *t == 63).is_some();
         assert!(hot, "expected a 63/64-taken branch, got {:?}", p.counts);
     }
 
     #[test]
-    fn profiling_does_not_mutate_caller_module(){
+    fn profiling_does_not_mutate_caller_module() {
         let mut m = Module::new();
         let task = hot_task(&mut m);
         let before = m.num_funcs();

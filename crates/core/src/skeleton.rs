@@ -22,9 +22,7 @@ use crate::options::{CompilerOptions, RefuseReason};
 use dae_analysis::effects;
 use dae_analysis::transform::{compact, inline_all, optimize};
 use dae_analysis::FunctionAnalysis;
-use dae_ir::{
-    BlockId, FuncId, Function, InstId, InstKind, Module, Terminator, Type, Value,
-};
+use dae_ir::{BlockId, FuncId, Function, InstId, InstKind, Module, Terminator, Type, Value};
 use std::collections::HashSet;
 
 /// Runs the §5.2 pipeline on `task`.
@@ -126,15 +124,14 @@ fn simplify_in_loop_conditionals(
         };
         let blocks = &analysis.forest.get(lp).blocks;
         if let Terminator::Branch { then_dest, else_dest, .. } = f.terminator(bb) {
-            let both_inside = blocks.contains(&then_dest.block) && blocks.contains(&else_dest.block);
+            let both_inside =
+                blocks.contains(&then_dest.block) && blocks.contains(&else_dest.block);
             // The loop header's own test and any branch with an exit edge
             // maintain the loop's control flow — keep those.
             let is_header = analysis.forest.get(lp).header == bb;
             if both_inside && !is_header {
                 let hot_then = profile
-                    .and_then(|(p, cfg)| {
-                        p.taken_fraction(bb).map(|fr| fr >= cfg.hot_threshold)
-                    })
+                    .and_then(|(p, cfg)| p.taken_fraction(bb).map(|fr| fr >= cfg.hot_threshold))
                     .unwrap_or(false);
                 let dest = if hot_then { then_dest.clone() } else { else_dest.clone() };
                 rewrites.push((bb, Terminator::Jump(dest)));

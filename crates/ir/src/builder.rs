@@ -452,7 +452,8 @@ mod tests {
     fn if_then_else_merges() {
         let mut b = FunctionBuilder::new("max", vec![Type::I64, Type::I64], Type::I64);
         let c = b.cmp(CmpOp::Gt, Value::Arg(0), Value::Arg(1));
-        let m = b.if_then_else(c, vec![Type::I64], |_| vec![Value::Arg(0)], |_| vec![Value::Arg(1)]);
+        let m =
+            b.if_then_else(c, vec![Type::I64], |_| vec![Value::Arg(0)], |_| vec![Value::Arg(1)]);
         b.ret(Some(m[0]));
         let f = b.finish();
         assert_eq!(f.num_blocks(), 4);
@@ -462,7 +463,13 @@ mod tests {
     #[should_panic(expected = "carried arity mismatch")]
     fn arity_mismatch_panics() {
         let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
-        b.counted_loop_carried(Value::i64(0), Value::i64(4), Value::i64(1), vec![Value::i64(0)], |_, _, _| vec![]);
+        b.counted_loop_carried(
+            Value::i64(0),
+            Value::i64(4),
+            Value::i64(1),
+            vec![Value::i64(0)],
+            |_, _, _| vec![],
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub fn cfg_to_dot(func: &Function, module: Option<&Module>) -> String {
         );
         match &data.term {
             Some(Terminator::Jump(d)) => {
-                let _ = writeln!(out, "  \"{bb}\" -> \"{}\" [label=\"{}\"];", d.block, d.args.len());
+                let _ =
+                    writeln!(out, "  \"{bb}\" -> \"{}\" [label=\"{}\"];", d.block, d.args.len());
             }
             Some(Terminator::Branch { then_dest, else_dest, .. }) => {
                 let _ = writeln!(

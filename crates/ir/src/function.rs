@@ -228,7 +228,10 @@ mod tests {
         let iv = f.add_block_param(header, Type::I64);
         assert_eq!(f.value_type(iv), Type::I64);
         assert_eq!(f.block(header).params.len(), 1);
-        f.set_terminator(f.entry, Terminator::Jump(BlockCall::with_args(header, vec![Value::i64(0)])));
+        f.set_terminator(
+            f.entry,
+            Terminator::Jump(BlockCall::with_args(header, vec![Value::i64(0)])),
+        );
         f.set_terminator(header, Terminator::Ret(None));
         assert_eq!(f.terminator(f.entry).successors().count(), 1);
     }

@@ -56,10 +56,10 @@ pub mod value;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use dot::cfg_to_dot;
 pub use function::{BlockData, Function, InstData};
 pub use inst::{BinOp, BlockCall, CmpOp, InstKind, Terminator, UnOp};
 pub use module::{GlobalData, GlobalInit, Module};
-pub use dot::cfg_to_dot;
 pub use print::{print_function, print_module};
 pub use types::Type;
 pub use value::{BlockId, FuncId, GlobalId, InstId, Value};

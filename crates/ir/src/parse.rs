@@ -174,7 +174,12 @@ impl<'a> Parser<'a> {
         Err(perr(line, format!("cannot parse value `{tok}`")))
     }
 
-    fn parse_block_call(&self, env: &FuncEnv, line: usize, tok: &str) -> Result<BlockCall, ParseError> {
+    fn parse_block_call(
+        &self,
+        env: &FuncEnv,
+        line: usize,
+        tok: &str,
+    ) -> Result<BlockCall, ParseError> {
         let tok = tok.trim();
         if let Some(open) = tok.find('(') {
             let name = &tok[..open];
@@ -191,10 +196,8 @@ impl<'a> Parser<'a> {
             }
             Ok(BlockCall::with_args(block, args))
         } else {
-            let block = *env
-                .blocks
-                .get(tok)
-                .ok_or_else(|| perr(line, format!("unknown block `{tok}`")))?;
+            let block =
+                *env.blocks.get(tok).ok_or_else(|| perr(line, format!("unknown block `{tok}`")))?;
             Ok(BlockCall::new(block))
         }
     }
@@ -268,10 +271,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     }
 
     while let Some((ln, l)) = p.peek() {
-        if l.starts_with("global ") {
+        if let Some(rest) = l.strip_prefix("global ") {
             p.next();
             // global g0 NAME : LEN x TY
-            let rest = &l["global ".len()..];
             let mut parts = rest.split_whitespace();
             let _id = parts.next().ok_or_else(|| perr(ln, "missing global id"))?;
             let name = parts.next().ok_or_else(|| perr(ln, "missing global name"))?;
@@ -470,9 +472,8 @@ fn parse_inst_kind(
     }
     match op {
         "icmp" => {
-            let (pred, rest2) = rest
-                .split_once(' ')
-                .ok_or_else(|| perr(ln, "icmp expects predicate"))?;
+            let (pred, rest2) =
+                rest.split_once(' ').ok_or_else(|| perr(ln, "icmp expects predicate"))?;
             let parts = split_top_level(rest2);
             if parts.len() != 2 {
                 return Err(perr(ln, "icmp expects two operands"));
@@ -519,9 +520,8 @@ fn parse_inst_kind(
         "call" => {
             let open = rest.find('(').ok_or_else(|| perr(ln, "call expects `(`"))?;
             let name = rest[..open].trim();
-            let inner = rest[open + 1..]
-                .strip_suffix(')')
-                .ok_or_else(|| perr(ln, "call expects `)`"))?;
+            let inner =
+                rest[open + 1..].strip_suffix(')').ok_or_else(|| perr(ln, "call expects `)`"))?;
             let callee = *p
                 .func_names
                 .get(name)

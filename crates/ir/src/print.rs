@@ -21,9 +21,8 @@ fn format_inst_kind(module: Option<&Module>, kind: &InstKind) -> String {
         InstKind::Store { addr, value } => format!("store {addr}, {value}"),
         InstKind::Prefetch { addr } => format!("prefetch {addr}"),
         InstKind::Call { callee, args } => {
-            let name = module
-                .map(|m| m.func(*callee).name.clone())
-                .unwrap_or_else(|| format!("{callee}"));
+            let name =
+                module.map(|m| m.func(*callee).name.clone()).unwrap_or_else(|| format!("{callee}"));
             let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
             format!("call {name}({})", args.join(", "))
         }
@@ -56,12 +55,8 @@ pub fn print_function(func: &Function, module: Option<&Module>) -> String {
 
 fn print_block(out: &mut String, func: &Function, module: Option<&Module>, bb: BlockId) {
     let data = func.block(bb);
-    let params: Vec<String> = data
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, t)| format!("{bb}p{i}: {t}"))
-        .collect();
+    let params: Vec<String> =
+        data.params.iter().enumerate().map(|(i, t)| format!("{bb}p{i}: {t}")).collect();
     if params.is_empty() {
         let _ = writeln!(out, "{bb}:");
     } else {

@@ -67,7 +67,10 @@ impl Value {
 
     /// True if the value is a literal (needs no definition point).
     pub fn is_const(self) -> bool {
-        matches!(self, Value::ConstI64(_) | Value::ConstF64(_) | Value::ConstBool(_) | Value::Global(_))
+        matches!(
+            self,
+            Value::ConstI64(_) | Value::ConstF64(_) | Value::ConstBool(_) | Value::Global(_)
+        )
     }
 }
 

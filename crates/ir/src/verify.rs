@@ -61,10 +61,8 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<(), V
 
 fn verify_value(func: &Function, bb: BlockId, v: Value) -> Result<(), VerifyError> {
     match v {
-        Value::Inst(id) => {
-            if id.0 as usize >= func.num_insts() {
-                return Err(err(func, format!("block {bb}: reference to unallocated inst {id}")));
-            }
+        Value::Inst(id) if id.0 as usize >= func.num_insts() => {
+            return Err(err(func, format!("block {bb}: reference to unallocated inst {id}")));
         }
         Value::BlockParam { block, index } => {
             if block.0 as usize >= func.num_blocks() {
@@ -77,10 +75,8 @@ fn verify_value(func: &Function, bb: BlockId, v: Value) -> Result<(), VerifyErro
                 ));
             }
         }
-        Value::Arg(i) => {
-            if i as usize >= func.params.len() {
-                return Err(err(func, format!("block {bb}: argument index {i} out of range")));
-            }
+        Value::Arg(i) if i as usize >= func.params.len() => {
+            return Err(err(func, format!("block {bb}: argument index {i} out of range")));
         }
         _ => {}
     }
@@ -142,7 +138,10 @@ fn verify_inst(
             let lt = func.value_type(*lhs);
             let rt = func.value_type(*rhs);
             if lt != rt {
-                return Err(err(func, format!("block {bb}: cmp operand types differ ({lt} vs {rt})")));
+                return Err(err(
+                    func,
+                    format!("block {bb}: cmp operand types differ ({lt} vs {rt})"),
+                ));
             }
             if data.ty != Type::Bool {
                 return Err(err(func, format!("block {bb}: cmp result must be bool")));
@@ -344,7 +343,10 @@ mod tests {
     fn rejects_double_placement() {
         let mut f = Function::new("dup", vec![], Type::Void);
         let entry = f.entry;
-        let i = f.create_inst(InstKind::Prefetch { addr: Value::Global(crate::value::GlobalId(0)) }, Type::Void);
+        let i = f.create_inst(
+            InstKind::Prefetch { addr: Value::Global(crate::value::GlobalId(0)) },
+            Type::Void,
+        );
         f.append_inst(entry, i);
         f.append_inst(entry, i);
         f.set_terminator(entry, Terminator::Ret(None));

@@ -2,8 +2,8 @@
 //! print → parse → print round trips and always verify.
 
 use dae_ir::{
-    parse::parse_module, print_module, verify_module, BinOp, CmpOp, FunctionBuilder, Module,
-    Type, Value,
+    parse::parse_module, print_module, verify_module, BinOp, CmpOp, FunctionBuilder, Module, Type,
+    Value,
 };
 use proptest::prelude::*;
 

@@ -256,7 +256,7 @@ mod tests {
         let mut c0 = CoreCaches::new(&cfg);
         let mut c1 = CoreCaches::new(&cfg);
         c0.access(&mut llc, 0); // memory; fills LLC
-        // Other core: private miss, but LLC hit.
+                                // Other core: private miss, but LLC hit.
         assert_eq!(c1.access(&mut llc, 0), HitLevel::Llc);
     }
 

@@ -42,16 +42,8 @@ pub fn bounding_box(space: Space, points: &[Vec<Rat>]) -> Polyhedron {
         let hi = points.iter().map(|pt| pt[d]).max().expect("nonempty");
         // d - ceil(lo) >= 0 is wrong for rational lo: the hull constraint is
         // den*d - num >= 0 to stay exact.
-        p.add_ge0(
-            LinExpr::dim(space, d)
-                .scale(lo.den())
-                .with_const(-lo.num()),
-        );
-        p.add_ge0(
-            LinExpr::dim(space, d)
-                .scale(-hi.den())
-                .with_const(hi.num()),
-        );
+        p.add_ge0(LinExpr::dim(space, d).scale(lo.den()).with_const(-lo.num()));
+        p.add_ge0(LinExpr::dim(space, d).scale(-hi.den()).with_const(hi.num()));
     }
     p
 }
@@ -72,8 +64,7 @@ fn hull_2d(space: Space, points: &[Vec<Rat>]) -> Polyhedron {
 
     if pts.len() == 1 {
         let mut p = Polyhedron::universe(space);
-        for d in 0..2 {
-            let v = pts[0][d];
+        for (d, &v) in pts[0].iter().enumerate().take(2) {
             p.add_eq0(LinExpr::dim(space, d).scale(v.den()).with_const(-v.num()));
         }
         return p;
@@ -110,16 +101,13 @@ fn hull_2d(space: Space, points: &[Vec<Rat>]) -> Polyhedron {
         let dy = p1[1] - p0[1];
         let dx = p1[0] - p0[0];
         // scale to integer coefficients
-        let mult = Rat::int(dy.den() * dx.den() * p0[0].den() as i128 * p0[1].den());
+        let mult = Rat::int(dy.den() * dx.den() * p0[0].den() * p0[1].den());
         let a = dy * mult; // coeff of x
         let b = -(dx * mult); // coeff of y
         let c = -(dy * mult * p0[0]) + dx * mult * p0[1];
         debug_assert!(a.is_integer() && b.is_integer() && c.is_integer());
         p.add_eq0(
-            LinExpr::zero(space)
-                .with_dim(0, a.num())
-                .with_dim(1, b.num())
-                .with_const(c.num()),
+            LinExpr::zero(space).with_dim(0, a.num()).with_dim(1, b.num()).with_const(c.num()),
         );
         return p;
     }
@@ -135,21 +123,13 @@ fn hull_2d(space: Space, points: &[Vec<Rat>]) -> Polyhedron {
         // (x - p0x)*dy' ... expand cross((dx,dy), (x-p0x, y-p0y)) >= 0:
         //   dx*(y-p0y) - dy*(x-p0x) >= 0
         // Scale by the lcm of all denominators to integer coefficients.
-        let scale = Rat::int(
-            lcm(
-                lcm(dx.den(), dy.den()),
-                lcm(p0[0].den(), p0[1].den()),
-            ),
-        );
+        let scale = Rat::int(lcm(lcm(dx.den(), dy.den()), lcm(p0[0].den(), p0[1].den())));
         let a = -(dy * scale); // coeff of x
         let b = dx * scale; // coeff of y
         let c = dy * scale * p0[0] - dx * scale * p0[1];
         debug_assert!(a.is_integer() && b.is_integer() && c.is_integer());
         poly.add_ge0(
-            LinExpr::zero(space)
-                .with_dim(0, a.num())
-                .with_dim(1, b.num())
-                .with_const(c.num()),
+            LinExpr::zero(space).with_dim(0, a.num()).with_dim(1, b.num()).with_const(c.num()),
         );
     }
     poly

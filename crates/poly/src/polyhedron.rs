@@ -34,6 +34,10 @@ impl Constraint {
     }
 }
 
+/// One bound on a dimension, as returned by [`Polyhedron::dim_bounds`]:
+/// `(coeff, expr)` with `coeff·d + expr >= 0`.
+pub type DimBound = (i128, LinExpr);
+
 /// A convex polyhedron `{ x | A·x + B·n + c >= 0, E·x + F·n + g == 0 }`
 /// over [`Space`] variables `x` (dims) and parameters `n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -196,7 +200,7 @@ impl Polyhedron {
             for up in &uppers {
                 let a = lo.dim_coeff(d); // > 0
                 let b = -up.dim_coeff(d); // > 0
-                // b*lo + a*up has zero coeff at d and stays >= 0.
+                                          // b*lo + a*up has zero coeff at d and stays >= 0.
                 let combined = lo.scale(b).add(&up.scale(a));
                 out.add_ge0(drop_col(&combined));
             }
@@ -228,7 +232,10 @@ impl Polyhedron {
                 .constraints
                 .into_iter()
                 .map(|c| Constraint {
-                    expr: LinExpr { space: Space::new(c.expr.space.params, 0), coeffs: c.expr.coeffs },
+                    expr: LinExpr {
+                        space: Space::new(c.expr.space.params, 0),
+                        coeffs: c.expr.coeffs,
+                    },
                     kind: c.kind,
                 })
                 .collect(),
@@ -254,7 +261,7 @@ impl Polyhedron {
     /// rewritten as: for lowers `d >= ceil(-expr / coeff)` and for uppers
     /// `d <= floor(expr / |coeff|)`; `expr` has zero coefficients for dims
     /// `>= d`.
-    pub fn dim_bounds(&self, d: usize) -> (Vec<(i128, LinExpr)>, Vec<(i128, LinExpr)>) {
+    pub fn dim_bounds(&self, d: usize) -> (Vec<DimBound>, Vec<DimBound>) {
         let mut p = self.clone();
         while p.space.dims > d + 1 {
             p = p.eliminate_dim(p.space.dims - 1);

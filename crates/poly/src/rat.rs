@@ -123,9 +123,14 @@ impl Default for Rat {
 
 impl Add for Rat {
     type Output = Rat;
+    // a/b + c/d needs cross-multiplication.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, o: Rat) -> Rat {
         Rat::new(
-            self.num.checked_mul(o.den).and_then(|a| a.checked_add(o.num * self.den)).expect("rat overflow"),
+            self.num
+                .checked_mul(o.den)
+                .and_then(|a| a.checked_add(o.num * self.den))
+                .expect("rat overflow"),
             self.den * o.den,
         )
     }
@@ -147,6 +152,8 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Division is multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Rat) -> Rat {
         self * o.recip()
     }

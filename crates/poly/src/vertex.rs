@@ -12,6 +12,7 @@ use crate::rat::Rat;
 
 /// Solves the square rational system `rows · x = rhs` by Gaussian
 /// elimination. Returns `None` if singular.
+#[allow(clippy::needless_range_loop)] // pivot/target rows alias the same matrix
 fn solve(rows: &[Vec<Rat>], rhs: &[Rat]) -> Option<Vec<Rat>> {
     let n = rows.len();
     let mut a: Vec<Vec<Rat>> = rows
@@ -193,10 +194,7 @@ mod tests {
 
     #[test]
     fn solve_rejects_singular() {
-        let rows = vec![
-            vec![Rat::int(1), Rat::int(2)],
-            vec![Rat::int(2), Rat::int(4)],
-        ];
+        let rows = vec![vec![Rat::int(1), Rat::int(2)], vec![Rat::int(2), Rat::int(4)]];
         let rhs = vec![Rat::int(1), Rat::int(2)];
         assert!(solve(&rows, &rhs).is_none());
     }

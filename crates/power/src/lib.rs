@@ -29,5 +29,6 @@ pub mod model;
 
 pub use freq::{DvfsTable, FreqId, FreqPoint};
 pub use model::{
-    edp, energy_j, select_optimal_edp, transition_cost, DvfsConfig, PowerModel,
+    edp, energy_j, phase_energy_split_j, select_optimal_edp, transition_cost, DvfsConfig,
+    PowerModel,
 };

@@ -103,6 +103,24 @@ pub fn transition_cost(
     (t, t * p)
 }
 
+/// Splits one core's energy over a phase of `time_s` seconds at `point`
+/// into `(dynamic_j, static_j)`.
+///
+/// The static share is the per-core slice of the model — everything except
+/// the chip-level base, which the runtime charges once over the makespan.
+/// This is the split the tracing subsystem attaches to phase events so
+/// energy counter tracks can be reconstructed per phase.
+pub fn phase_energy_split_j(
+    model: &PowerModel,
+    point: FreqPoint,
+    ipc: f64,
+    time_s: f64,
+) -> (f64, f64) {
+    let dyn_j = model.dynamic_power_w(point, ipc) * time_s;
+    let static_j = (model.static_power_w(point, 1) - model.static_base_w) * time_s;
+    (dyn_j, static_j)
+}
+
 /// Picks the operating point minimising EDP for a phase, given a callback
 /// that reports `(time_s, ipc)` of the phase at each candidate frequency.
 /// This is the paper's *Optimal-f* policy (exhaustive search, §6.1).
@@ -182,6 +200,18 @@ mod tests {
         assert!((e - time * m.static_power_w(t.point(t.min()), 4)).abs() < 1e-18);
         let (t0, e0) = transition_cost(&m, &DvfsConfig::instant(), t.point(t.min()), 4);
         assert_eq!((t0, e0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn phase_energy_split_sums_to_per_core_power() {
+        let m = model();
+        let t = DvfsTable::sandybridge();
+        let point = t.point(t.max());
+        let (dyn_j, static_j) = phase_energy_split_j(&m, point, 1.5, 0.01);
+        assert!((dyn_j - m.dynamic_power_w(point, 1.5) * 0.01).abs() < 1e-15);
+        let per_core_static = m.static_power_w(point, 1) - m.static_base_w;
+        assert!((static_j - per_core_static * 0.01).abs() < 1e-15);
+        assert!(dyn_j > 0.0 && static_j > 0.0);
     }
 
     #[test]

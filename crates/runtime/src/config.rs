@@ -32,7 +32,10 @@ impl FreqPolicy {
     /// True for policies that run the access phase before the execute
     /// phase.
     pub fn is_decoupled(self) -> bool {
-        matches!(self, FreqPolicy::DaeMinMax | FreqPolicy::DaeOptimal | FreqPolicy::DaePhases { .. })
+        matches!(
+            self,
+            FreqPolicy::DaeMinMax | FreqPolicy::DaeOptimal | FreqPolicy::DaePhases { .. }
+        )
     }
 }
 

@@ -8,6 +8,11 @@
 //! accounting, and the O.S.I. (overhead / sequential / idle) bookkeeping
 //! that Figure 4 stacks.
 //!
+//! Every run can stream event-level evidence — task/phase spans, DVFS
+//! transitions, per-core idle gaps — into a [`dae_trace::TraceSink`] via
+//! [`run_workload_traced`]; [`run_workload`] is the zero-cost
+//! [`dae_trace::NullSink`] shorthand.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -33,4 +38,4 @@ pub mod sched;
 
 pub use config::{FreqPolicy, RuntimeConfig};
 pub use report::{Breakdown, RunReport};
-pub use sched::{run_workload, TaskInstance};
+pub use sched::{run_workload, run_workload_traced, TaskInstance};

@@ -1,6 +1,11 @@
 //! Run reports: time, energy, EDP and the O.S.I. breakdown of Figure 4.
+//!
+//! Reports serialise to JSON ([`RunReport::to_json`]) independently of any
+//! trace sink, so `BENCH_*.json` trajectory files and scripted consumers
+//! never have to parse the aligned text tables.
 
 use dae_sim::PhaseTrace;
+use dae_trace::json::JsonValue;
 
 /// Aggregated timing of one run, split the way Figure 4 stacks it.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -19,6 +24,18 @@ impl Breakdown {
     /// Overhead + idle, the paper's "O.S.I." bar.
     pub fn osi_s(&self) -> f64 {
         self.overhead_s + self.idle_s
+    }
+
+    /// Machine-readable form: one key per bar segment plus the derived
+    /// `osi_s`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("access_s", self.access_s.into()),
+            ("execute_s", self.execute_s.into()),
+            ("overhead_s", self.overhead_s.into()),
+            ("idle_s", self.idle_s.into()),
+            ("osi_s", self.osi_s().into()),
+        ])
     }
 }
 
@@ -64,6 +81,27 @@ impl RunReport {
             self.breakdown.access_s / busy * 100.0
         }
     }
+
+    /// Machine-readable form: headline metrics, the breakdown, the Table 1
+    /// derivatives and both merged phase traces.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("time_s", self.time_s.into()),
+            ("energy_j", self.energy_j.into()),
+            ("edp", self.edp().into()),
+            ("tasks", self.tasks.into()),
+            ("ta_us", self.ta_us().into()),
+            ("ta_percent", self.ta_percent().into()),
+            ("breakdown", self.breakdown.to_json()),
+            ("access_trace", self.access_trace.to_json()),
+            ("execute_trace", self.execute_trace.to_json()),
+        ])
+    }
+
+    /// [`RunReport::to_json`] rendered as a compact string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +134,19 @@ mod tests {
     #[test]
     fn osi_combines_overhead_and_idle() {
         assert!((report().breakdown.osi_s() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serialises_to_parseable_json() {
+        let r = report();
+        let text = r.to_json_string();
+        let v = dae_trace::json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("time_s").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("edp").unwrap().as_f64(), Some(20.0));
+        let b = v.get("breakdown").unwrap();
+        assert_eq!(b.get("execute_s").unwrap().as_f64(), Some(1.6));
+        assert!((b.get("osi_s").unwrap().as_f64().unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(v.get("execute_trace").unwrap().get("instrs").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::config::{FreqPolicy, RuntimeConfig};
 use crate::report::{Breakdown, RunReport};
 use dae_ir::{FuncId, Module};
 use dae_mem::{CoreCaches, SharedLlc};
-use dae_power::{select_optimal_edp, FreqId, FreqPoint};
+use dae_power::{phase_energy_split_j, select_optimal_edp, FreqId, FreqPoint};
 use dae_sim::{CachePort, InterpError, Machine, PhaseTrace, Val};
+use dae_trace::{NullSink, PhaseKind, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// One dynamic task instance.
@@ -65,6 +66,9 @@ fn core_static_w(cfg: &RuntimeConfig, point: FreqPoint) -> f64 {
 
 /// Runs `tasks` to completion and reports time/energy/EDP.
 ///
+/// Equivalent to [`run_workload_traced`] with a [`NullSink`]: no events
+/// are recorded and no instrumentation cost is paid.
+///
 /// # Errors
 ///
 /// Propagates interpreter traps ([`InterpError`]).
@@ -72,6 +76,26 @@ pub fn run_workload(
     module: &Module,
     tasks: &[TaskInstance],
     cfg: &RuntimeConfig,
+) -> Result<RunReport, InterpError> {
+    run_workload_traced(module, tasks, cfg, &mut NullSink)
+}
+
+/// Runs `tasks` to completion, streaming trace events into `sink`.
+///
+/// The sink only observes the run: task/phase spans, DVFS transitions and
+/// per-core idle gaps are emitted with the exact times and energies the
+/// scheduler charges, so exported span totals reconcile with
+/// [`RunReport::breakdown`], and with a disabled sink the reported numbers
+/// are bit-identical to [`run_workload`].
+///
+/// # Errors
+///
+/// Propagates interpreter traps ([`InterpError`]).
+pub fn run_workload_traced(
+    module: &Module,
+    tasks: &[TaskInstance],
+    cfg: &RuntimeConfig,
+    sink: &mut dyn TraceSink,
 ) -> Result<RunReport, InterpError> {
     let mut machine = Machine::new(module);
     let mut llc = SharedLlc::new(cfg.hierarchy.llc);
@@ -97,8 +121,7 @@ pub fn run_workload(
     for epoch in epochs {
         // Round-robin initial distribution of this epoch's tasks.
         let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); cfg.cores];
-        for (slot, (i, _)) in
-            tasks.iter().enumerate().filter(|(_, t)| t.epoch == epoch).enumerate()
+        for (slot, (i, _)) in tasks.iter().enumerate().filter(|(_, t)| t.epoch == epoch).enumerate()
         {
             deques[slot % cfg.cores].push_back(i);
         }
@@ -109,9 +132,7 @@ pub fn run_workload(
             }
             // The least-loaded core runs next.
             let c = (0..cfg.cores)
-                .min_by(|&a, &b| {
-                    cores[a].clock_s.partial_cmp(&cores[b].clock_s).expect("finite")
-                })
+                .min_by(|&a, &b| cores[a].clock_s.partial_cmp(&cores[b].clock_s).expect("finite"))
                 .expect("at least one core");
             // Own work first, then steal from the fullest victim.
             let task_idx = match deques[c].pop_front() {
@@ -134,15 +155,30 @@ pub fn run_workload(
                 &mut cores[c],
                 cfg,
                 task,
+                task_idx as u32,
                 &mut energy_j,
                 &mut breakdown,
                 &mut access_trace,
                 &mut execute_trace,
+                sink,
+                c as u32,
             )?;
         }
         // Barrier: every core waits for the epoch's slowest (counts as idle
         // via the final makespan accounting).
         let barrier = cores.iter().map(|c| c.clock_s).fold(0.0, f64::max);
+        if sink.is_enabled() {
+            for (i, c) in cores.iter().enumerate() {
+                let gap = barrier - c.clock_s;
+                if gap > 0.0 {
+                    sink.record(TraceEvent::Idle {
+                        core: i as u32,
+                        start_s: c.clock_s,
+                        dur_s: gap,
+                    });
+                }
+            }
+        }
         for c in cores.iter_mut() {
             c.clock_s = barrier;
         }
@@ -155,14 +191,7 @@ pub fn run_workload(
     let busy_total: f64 = cores.iter().map(|c| c.busy_s).sum();
     breakdown.idle_s = (time_s * cfg.cores as f64 - busy_total).max(0.0);
 
-    Ok(RunReport {
-        time_s,
-        energy_j,
-        tasks: tasks.len(),
-        breakdown,
-        access_trace,
-        execute_trace,
-    })
+    Ok(RunReport { time_s, energy_j, tasks: tasks.len(), breakdown, access_trace, execute_trace })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -172,17 +201,31 @@ fn run_task(
     core: &mut CoreState,
     cfg: &RuntimeConfig,
     task: &TaskInstance,
+    task_idx: u32,
     energy_j: &mut f64,
     breakdown: &mut Breakdown,
     access_trace: &mut PhaseTrace,
     execute_trace: &mut PhaseTrace,
+    sink: &mut dyn TraceSink,
+    core_id: u32,
 ) -> Result<(), InterpError> {
     // Runtime overhead for dequeuing/scheduling this task.
     let oh = cfg.task_overhead_s;
+    let oh_start = core.clock_s;
+    let oh_energy = core_static_w(cfg, cfg.table.point(core.freq)) * oh;
     core.clock_s += oh;
     core.busy_s += oh;
     breakdown.overhead_s += oh;
-    *energy_j += core_static_w(cfg, cfg.table.point(core.freq)) * oh;
+    *energy_j += oh_energy;
+    if sink.is_enabled() {
+        sink.record(TraceEvent::Overhead {
+            core: core_id,
+            task: task_idx,
+            start_s: oh_start,
+            dur_s: oh,
+            energy_j: oh_energy,
+        });
+    }
 
     let decoupled = cfg.policy.is_decoupled() && task.access.is_some();
 
@@ -204,7 +247,22 @@ fn run_task(
             }),
             _ => unreachable!("coupled policy in decoupled path"),
         };
-        charge_phase(core, cfg, &a_trace, a_freq, energy_j, breakdown, true);
+        charge_phase(
+            core,
+            cfg,
+            &a_trace,
+            a_freq,
+            energy_j,
+            breakdown,
+            true,
+            &mut PhaseEmit {
+                sink: &mut *sink,
+                core_id,
+                task_idx,
+                func: access,
+                machine: &*machine,
+            },
+        );
         access_trace.merge(&a_trace);
     }
 
@@ -230,13 +288,33 @@ fn run_task(
             (e_trace.time_s(f, &cfg.timing), e_trace.ipc(f, &cfg.timing))
         }),
     };
-    charge_phase(core, cfg, &e_trace, e_freq, energy_j, breakdown, false);
+    charge_phase(
+        core,
+        cfg,
+        &e_trace,
+        e_freq,
+        energy_j,
+        breakdown,
+        false,
+        &mut PhaseEmit { sink: &mut *sink, core_id, task_idx, func: task.func, machine: &*machine },
+    );
     execute_trace.merge(&e_trace);
     Ok(())
 }
 
+/// Everything [`charge_phase`] needs to describe the phase it is charging
+/// to the trace sink.
+struct PhaseEmit<'a, 'm> {
+    sink: &'a mut dyn TraceSink,
+    core_id: u32,
+    task_idx: u32,
+    func: FuncId,
+    machine: &'a Machine<'m>,
+}
+
 /// Applies DVFS transition cost (static energy only, §6.1), then charges the
 /// phase's time and energy at the chosen operating point.
+#[allow(clippy::too_many_arguments)]
 fn charge_phase(
     core: &mut CoreState,
     cfg: &RuntimeConfig,
@@ -245,20 +323,34 @@ fn charge_phase(
     energy_j: &mut f64,
     breakdown: &mut Breakdown,
     is_access: bool,
+    emit: &mut PhaseEmit<'_, '_>,
 ) {
     let point = cfg.table.point(freq);
     if core.freq != freq {
         let t_tr = cfg.dvfs.transition_s;
+        let tr_start = core.clock_s;
+        let tr_energy = core_static_w(cfg, point) * t_tr;
         core.clock_s += t_tr;
         core.busy_s += t_tr;
         breakdown.overhead_s += t_tr;
-        *energy_j += core_static_w(cfg, point) * t_tr;
+        *energy_j += tr_energy;
+        if emit.sink.is_enabled() {
+            emit.sink.record(TraceEvent::DvfsTransition {
+                core: emit.core_id,
+                start_s: tr_start,
+                dur_s: t_tr,
+                from_ghz: cfg.table.point(core.freq).ghz,
+                to_ghz: point.ghz,
+                energy_j: tr_energy,
+            });
+        }
         core.freq = freq;
     }
     let f_hz = point.hz();
     let time = trace.time_s(f_hz, &cfg.timing);
     let ipc = trace.ipc(f_hz, &cfg.timing);
     let power = cfg.power.dynamic_power_w(point, ipc) + core_static_w(cfg, point);
+    let start = core.clock_s;
     core.clock_s += time;
     core.busy_s += time;
     *energy_j += power * time;
@@ -267,13 +359,28 @@ fn charge_phase(
     } else {
         breakdown.execute_s += time;
     }
+    if emit.sink.is_enabled() {
+        let (dyn_j, static_j) = phase_energy_split_j(&cfg.power, point, ipc, time);
+        emit.sink.record(TraceEvent::Phase {
+            core: emit.core_id,
+            task: emit.task_idx,
+            name: emit.machine.module().func(emit.func).name.clone(),
+            kind: if is_access { PhaseKind::Access } else { PhaseKind::Execute },
+            start_s: start,
+            dur_s: time,
+            freq_ghz: point.ghz,
+            dyn_energy_j: dyn_j,
+            static_energy_j: static_j,
+            counters: trace.counters(),
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dae_ir::{FunctionBuilder, Type, Value};
-    use dae_power::DvfsConfig;
+    use dae_power::{DvfsConfig, DvfsTable};
 
     /// A module with a streaming task over a large array plus a matching
     /// hand-built access phase (one prefetch per line).
@@ -416,18 +523,151 @@ mod tests {
     }
 
     #[test]
+    fn dvfs_transition_accounting_is_exact() {
+        // §6.1: a transition takes `transition_s` and burns static energy
+        // only. On one core under DaePhases{min, max} every task performs
+        // exactly two transitions (→fmin for access, →fmax for execute),
+        // so N = 2 · tasks must add exactly N × transition_s to overhead
+        // and the matching static energy.
+        let (m, exec, access) = stream_module(4096, 512);
+        let tasks = tasks_for(exec, access, 4096, 512);
+        let mut cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaePhases {
+            access: DvfsTable::sandybridge().min(),
+            execute: DvfsTable::sandybridge().max(),
+        });
+        cfg.cores = 1;
+        let t_tr = cfg.dvfs.transition_s;
+        let n = 2 * tasks.len();
+
+        let mut rec = dae_trace::Recorder::new(cfg.cores);
+        let with_lat = run_workload_traced(&m, &tasks, &cfg, &mut rec).unwrap();
+        let no_lat =
+            run_workload(&m, &tasks, &cfg.clone().with_dvfs(DvfsConfig::instant())).unwrap();
+
+        // Time: N transitions, each transition_s, all of it overhead.
+        let dispatch = tasks.len() as f64 * cfg.task_overhead_s;
+        let extra_overhead = with_lat.breakdown.overhead_s - no_lat.breakdown.overhead_s;
+        assert!((extra_overhead - n as f64 * t_tr).abs() < 1e-15, "{extra_overhead}");
+        assert!((no_lat.breakdown.overhead_s - dispatch).abs() < 1e-15);
+        assert!((with_lat.time_s - no_lat.time_s - n as f64 * t_tr).abs() < 1e-15);
+
+        // Energy: per-core static at the target point for each transition,
+        // plus chip base static over the lengthened makespan.
+        let w_min = core_static_w(&cfg, cfg.table.point(cfg.table.min()));
+        let w_max = core_static_w(&cfg, cfg.table.point(cfg.table.max()));
+        let expected_e =
+            tasks.len() as f64 * t_tr * (w_min + w_max) + cfg.power.static_base_w * n as f64 * t_tr;
+        let extra_e = with_lat.energy_j - no_lat.energy_j;
+        assert!(
+            (extra_e - expected_e).abs() < expected_e * 1e-9,
+            "extra {extra_e} vs expected {expected_e}"
+        );
+
+        // The trace agrees event by event.
+        let transitions: Vec<_> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                dae_trace::TraceEvent::DvfsTransition { dur_s, energy_j, .. } => {
+                    Some((*dur_s, *energy_j))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(transitions.len(), n);
+        assert!(transitions.iter().all(|(d, _)| *d == t_tr));
+        let traced_e: f64 = transitions.iter().map(|(_, e)| e).sum();
+        let static_only = tasks.len() as f64 * t_tr * (w_min + w_max);
+        assert!((traced_e - static_only).abs() < static_only * 1e-9);
+
+        // Zero-transition control: coupled-at-fmax never switches.
+        let mut rec = dae_trace::Recorder::new(cfg.cores);
+        let coupled = run_workload_traced(
+            &m,
+            &tasks,
+            &cfg.clone().with_policy(FreqPolicy::CoupledMax),
+            &mut rec,
+        )
+        .unwrap();
+        assert!((coupled.breakdown.overhead_s - dispatch).abs() < 1e-15);
+        assert!(rec
+            .events()
+            .iter()
+            .all(|e| !matches!(e, dae_trace::TraceEvent::DvfsTransition { .. })));
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        // The acceptance bar: with a recording sink attached the reported
+        // numbers are bit-identical to the untraced run.
+        let (m, exec, access) = stream_module(8192, 512);
+        let tasks = tasks_for(exec, access, 8192, 512);
+        let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaeOptimal);
+        let plain = run_workload(&m, &tasks, &cfg).unwrap();
+        let mut rec = dae_trace::Recorder::new(cfg.cores);
+        let traced = run_workload_traced(&m, &tasks, &cfg, &mut rec).unwrap();
+        assert_eq!(plain.time_s.to_bits(), traced.time_s.to_bits());
+        assert_eq!(plain.energy_j.to_bits(), traced.energy_j.to_bits());
+        assert_eq!(plain.breakdown, traced.breakdown);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn trace_spans_reconcile_with_breakdown() {
+        // Per-category span totals must match the O.S.I. breakdown, and
+        // spans within one core lane must not overlap.
+        let (m, exec, access) = stream_module(16384, 512);
+        let tasks = tasks_for(exec, access, 16384, 512);
+        let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaeMinMax);
+        let mut rec = dae_trace::Recorder::new(cfg.cores);
+        let r = run_workload_traced(&m, &tasks, &cfg, &mut rec).unwrap();
+
+        let mut by_cat = std::collections::HashMap::new();
+        for e in rec.events() {
+            *by_cat.entry(e.category()).or_insert(0.0) += e.dur_s();
+        }
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        assert!(close(by_cat["access"], r.breakdown.access_s));
+        assert!(close(by_cat["execute"], r.breakdown.execute_s));
+        assert!(close(
+            by_cat["overhead"] + by_cat.get("dvfs").copied().unwrap_or(0.0),
+            r.breakdown.overhead_s
+        ));
+        assert!(close(by_cat.get("idle").copied().unwrap_or(0.0), r.breakdown.idle_s));
+
+        for core in 0..cfg.cores as u32 {
+            let mut spans: Vec<(f64, f64)> = rec
+                .events()
+                .iter()
+                .filter(|e| e.core() == core)
+                .map(|e| (e.start_s(), e.end_s()))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-12, "overlap on core {core}: {w:?}");
+            }
+        }
+
+        // The trace-level summary sees the same totals.
+        let s = dae_trace::summary::Summary::from_recorder(&rec);
+        assert_eq!(s.tasks, tasks.len());
+        assert!(close(s.access_s, r.breakdown.access_s));
+        assert!(close(s.idle_s, r.breakdown.idle_s));
+        assert_eq!(s.execute_counters.instrs, r.execute_trace.instrs);
+    }
+
+    #[test]
     fn coupled_optimal_never_loses_edp() {
         // Optimal-EDP CAE is an exhaustive per-task search: it can never end
         // up with worse EDP than the fmax baseline (modulo transition cost).
         let (m, exec, access) = stream_module(65536, 2048);
-        let tasks: Vec<TaskInstance> = (0..32)
-            .map(|k| TaskInstance::coupled(exec, vec![Val::I(k * 2048)]))
-            .collect();
+        let tasks: Vec<TaskInstance> =
+            (0..32).map(|k| TaskInstance::coupled(exec, vec![Val::I(k * 2048)])).collect();
         let _ = access;
         let base = RuntimeConfig::paper_default();
         let max = run_workload(&m, &tasks, &base).unwrap();
-        let opt =
-            run_workload(&m, &tasks, &base.clone().with_policy(FreqPolicy::CoupledOptimal)).unwrap();
+        let opt = run_workload(&m, &tasks, &base.clone().with_policy(FreqPolicy::CoupledOptimal))
+            .unwrap();
         assert!(opt.energy_j <= max.energy_j * 1.001);
         assert!(opt.edp() <= max.edp() * 1.001);
     }

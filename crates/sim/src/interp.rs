@@ -4,9 +4,7 @@
 
 use crate::memory::{Memory, Val};
 use crate::timing::{level_index, DemandMiss, PhaseTrace, TimingConfig};
-use dae_ir::{
-    BinOp, BlockId, CmpOp, FuncId, Function, InstKind, Module, Terminator, UnOp, Value,
-};
+use dae_ir::{BinOp, BlockId, CmpOp, FuncId, Function, InstKind, Module, Terminator, UnOp, Value};
 use dae_mem::{CoreCaches, HitLevel, SharedLlc};
 use std::fmt;
 
@@ -175,8 +173,9 @@ impl<'m> Machine<'m> {
                 args.len()
             )));
         }
-        let global_addrs: Vec<u64> =
-            (0..self.module.num_globals()).map(|g| self.memory.global_addr(dae_ir::GlobalId(g as u32))).collect();
+        let global_addrs: Vec<u64> = (0..self.module.num_globals())
+            .map(|g| self.memory.global_addr(dae_ir::GlobalId(g as u32)))
+            .collect();
         let mut frame = Frame {
             func,
             global_addrs,
@@ -293,7 +292,8 @@ impl<'m> Machine<'m> {
             }
             InstKind::Select { cond, then_value, else_value } => {
                 let (c, tc) = eval(frame, *cond);
-                let (v, tv) = if c.as_b() { eval(frame, *then_value) } else { eval(frame, *else_value) };
+                let (v, tv) =
+                    if c.as_b() { eval(frame, *then_value) } else { eval(frame, *else_value) };
                 Some((v, tc || tv))
             }
             InstKind::PtrAdd { base, offset } => {
@@ -347,9 +347,7 @@ impl<'m> Machine<'m> {
             }
             InstKind::Call { callee, args } => {
                 let slots: Vec<Slot> = args.iter().map(|a| eval(frame, *a)).collect();
-                let r =
-                    self.run_frame(*callee, slots, caches, trace, steps_left, depth + 1, None)?;
-                r
+                self.run_frame(*callee, slots, caches, trace, steps_left, depth + 1, None)?
             }
         };
         if let Some(slot) = result {
@@ -452,7 +450,11 @@ mod tests {
     use dae_ir::{FunctionBuilder, Module, Type};
     use dae_mem::HierarchyConfig;
 
-    fn run_task<'a>(module: &'a Module, name: &str, args: &[Val]) -> (Option<Val>, PhaseTrace, Machine<'a>) {
+    fn run_task<'a>(
+        module: &'a Module,
+        name: &str,
+        args: &[Val],
+    ) -> (Option<Val>, PhaseTrace, Machine<'a>) {
         let cfg = HierarchyConfig::default();
         let mut llc = SharedLlc::new(cfg.llc);
         let mut core = CoreCaches::new(&cfg);
@@ -520,7 +522,10 @@ mod tests {
         assert_eq!(trace.hw_prefetch_lines, 7);
         assert_eq!(trace.demand_hits[0], 56);
         assert_eq!(trace.demand_misses.len(), 1);
-        assert!(trace.demand_misses.iter().all(|d| !d.dependent), "streaming misses are independent");
+        assert!(
+            trace.demand_misses.iter().all(|d| !d.dependent),
+            "streaming misses are independent"
+        );
     }
 
     #[test]
@@ -553,13 +558,22 @@ mod tests {
         let mut trace = PhaseTrace::default();
         let f = m.func_by_name("chase").unwrap();
         let r = machine
-            .run(f, &[Val::P(base), Val::I(32)], &mut CachePort { core: &mut core, llc: &mut llc }, &mut trace)
+            .run(
+                f,
+                &[Val::P(base), Val::I(32)],
+                &mut CachePort { core: &mut core, llc: &mut llc },
+                &mut trace,
+            )
             .unwrap();
         assert!(matches!(r, Some(Val::P(_))));
         // After the first (cold, independent) miss every subsequent miss's
         // address comes from a missing load: dependent.
         let dependent = trace.demand_misses.iter().filter(|d| d.dependent).count();
-        assert!(dependent >= trace.demand_misses.len() - 1, "{dependent} of {}", trace.demand_misses.len());
+        assert!(
+            dependent >= trace.demand_misses.len() - 1,
+            "{dependent} of {}",
+            trace.demand_misses.len()
+        );
         assert!(trace.demand_misses.len() >= 30);
     }
 

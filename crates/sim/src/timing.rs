@@ -149,10 +149,12 @@ impl PhaseTrace {
         self.store_mem_misses += other.store_mem_misses;
         self.hw_prefetch_lines += other.hw_prefetch_lines;
         self.writeback_lines += other.writeback_lines;
-        self.demand_misses.extend(other.demand_misses.iter().map(|m| DemandMiss {
-            instr_idx: m.instr_idx + base,
-            dependent: m.dependent,
-        }));
+        self.demand_misses.extend(
+            other
+                .demand_misses
+                .iter()
+                .map(|m| DemandMiss { instr_idx: m.instr_idx + base, dependent: m.dependent }),
+        );
     }
 
     /// Issue-limited core cycles (frequency-independent count; divide by `f`
@@ -229,6 +231,40 @@ impl PhaseTrace {
         }
     }
 
+    /// Snapshot of the counters for the tracing subsystem (everything but
+    /// the per-miss event list, which stays simulator-internal).
+    pub fn counters(&self) -> dae_trace::PhaseCounters {
+        dae_trace::PhaseCounters {
+            instrs: self.instrs,
+            addr_ops: self.addr_ops,
+            fp_ops: self.fp_ops,
+            loads: self.loads,
+            stores: self.stores,
+            prefetches: self.prefetches,
+            branches: self.branches,
+            demand_hits: self.demand_hits,
+            prefetch_hits: self.prefetch_hits,
+            dram_lines: self.dram_lines(),
+        }
+    }
+
+    /// Machine-readable counters as JSON (the per-miss list is summarised
+    /// as `demand_miss_events`).
+    pub fn to_json(&self) -> dae_trace::json::JsonValue {
+        let mut v = self.counters().to_json();
+        if let dae_trace::json::JsonValue::Obj(pairs) = &mut v {
+            pairs.push((
+                "extra_lat_cycles".to_string(),
+                dae_trace::json::JsonValue::Num(self.extra_lat_cycles),
+            ));
+            pairs.push(("store_mem_misses".to_string(), self.store_mem_misses.into()));
+            pairs.push(("hw_prefetch_lines".to_string(), self.hw_prefetch_lines.into()));
+            pairs.push(("writeback_lines".to_string(), self.writeback_lines.into()));
+            pairs.push(("demand_miss_events".to_string(), self.demand_misses.len().into()));
+        }
+        v
+    }
+
     /// Fraction of `time_s(fmax)` that is frequency-insensitive — a
     /// memory-boundedness indicator in `[0, 1]`.
     pub fn memory_bound_fraction(&self, f_hz: f64, cfg: &TimingConfig) -> f64 {
@@ -252,7 +288,12 @@ mod tests {
     }
 
     fn compute_trace() -> PhaseTrace {
-        PhaseTrace { instrs: 100_000, fp_ops: 40_000, demand_hits: [30_000, 0, 0, 0], ..Default::default() }
+        PhaseTrace {
+            instrs: 100_000,
+            fp_ops: 40_000,
+            demand_hits: [30_000, 0, 0, 0],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -330,6 +371,25 @@ mod tests {
         let c = cfg();
         assert!(t.ipc(3.4e9, &c) <= c.issue_width + 1e-9);
         assert!(t.ipc(3.4e9, &c) > 0.0);
+    }
+
+    #[test]
+    fn counters_snapshot_and_json_mirror_the_trace() {
+        let mut t = compute_trace();
+        t.prefetch_hits = [0, 0, 0, 7];
+        t.writeback_lines = 3;
+        t.demand_misses.push(DemandMiss { instr_idx: 1, dependent: false });
+        let c = t.counters();
+        assert_eq!(c.instrs, t.instrs);
+        assert_eq!(c.demand_hits, t.demand_hits);
+        assert_eq!(c.dram_lines, t.dram_lines());
+        let j = t.to_json();
+        assert_eq!(j.get("instrs").unwrap().as_f64(), Some(t.instrs as f64));
+        assert_eq!(j.get("writeback_lines").unwrap().as_f64(), Some(3.0));
+        assert_eq!(j.get("demand_miss_events").unwrap().as_f64(), Some(1.0));
+        // The serialised form parses back as valid JSON.
+        let text = j.to_json_string();
+        assert!(dae_trace::json::parse(&text).is_ok());
     }
 
     #[test]

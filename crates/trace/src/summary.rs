@@ -1,0 +1,289 @@
+//! Compact summary-JSON export: the aggregate view of a recorded trace.
+//!
+//! The schema (`dae-trace-summary/1`) is the per-run record used for
+//! `BENCH_*.json` trajectory files — small enough to commit, rich enough
+//! to plot O.S.I. stacks and energy splits without re-running anything:
+//!
+//! ```json
+//! {
+//!   "schema": "dae-trace-summary/1",
+//!   "cores": 4, "events": 123, "makespan_s": 0.0012,
+//!   "tasks": 32, "access_phases": 32, "dvfs_transitions": 64,
+//!   "phase_s": {"access": ..., "execute": ..., "overhead": ..., "idle": ...},
+//!   "energy_j": {"dynamic": ..., "static": ..., "total": ...},
+//!   "access":  {"time_s": ..., "instrs": ..., ...},
+//!   "execute": {"time_s": ..., "instrs": ..., ...},
+//!   "per_core": [{"core": 0, "busy_s": ..., "idle_s": ..., "spans": N}, ...]
+//! }
+//! ```
+//!
+//! `phase_s` totals reconcile with the runtime's `Breakdown` by
+//! construction: `overhead` sums dispatch *and* DVFS-transition spans, the
+//! way the scheduler charges `overhead_s`. Chip-level base static power is
+//! charged over the makespan by the runtime, not per event, so
+//! `energy_j.total` covers the traced (per-core) energy only.
+
+use crate::event::{PhaseCounters, TraceEvent};
+use crate::json::JsonValue;
+use crate::sink::Recorder;
+
+/// Aggregated totals of one recorded run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of core lanes.
+    pub cores: usize,
+    /// Number of recorded events.
+    pub events: usize,
+    /// Latest event end, in virtual seconds.
+    pub makespan_s: f64,
+    /// Execute phases recorded (= task instances run).
+    pub tasks: usize,
+    /// Access phases recorded.
+    pub access_phases: usize,
+    /// DVFS transitions recorded.
+    pub dvfs_transitions: usize,
+    /// Core-seconds spent in access phases.
+    pub access_s: f64,
+    /// Core-seconds spent in execute phases.
+    pub execute_s: f64,
+    /// Core-seconds of overhead (task dispatch + DVFS transitions).
+    pub overhead_s: f64,
+    /// Core-seconds of idle gaps.
+    pub idle_s: f64,
+    /// Dynamic energy over all phases, in joules.
+    pub dyn_energy_j: f64,
+    /// Per-core static energy (phases, dispatch, transitions), in joules.
+    pub static_energy_j: f64,
+    /// Merged counters of all access phases.
+    pub access_counters: PhaseCounters,
+    /// Merged counters of all execute phases.
+    pub execute_counters: PhaseCounters,
+    /// Per-core `(busy_s, idle_s, span count)`.
+    pub per_core: Vec<(f64, f64, usize)>,
+}
+
+impl Summary {
+    /// Aggregates the recorder's events.
+    pub fn from_recorder(rec: &Recorder) -> Summary {
+        let mut s = Summary {
+            cores: rec.cores(),
+            events: rec.len(),
+            makespan_s: rec.makespan_s(),
+            per_core: vec![(0.0, 0.0, 0); rec.cores()],
+            ..Default::default()
+        };
+        for ev in rec.events() {
+            let lane = &mut s.per_core[ev.core() as usize];
+            lane.2 += 1;
+            match ev {
+                TraceEvent::Phase {
+                    kind, dur_s, dyn_energy_j, static_energy_j, counters, ..
+                } => {
+                    s.dyn_energy_j += dyn_energy_j;
+                    s.static_energy_j += static_energy_j;
+                    lane.0 += dur_s;
+                    match kind {
+                        crate::event::PhaseKind::Access => {
+                            s.access_phases += 1;
+                            s.access_s += dur_s;
+                            s.access_counters.merge(counters);
+                        }
+                        crate::event::PhaseKind::Execute => {
+                            s.tasks += 1;
+                            s.execute_s += dur_s;
+                            s.execute_counters.merge(counters);
+                        }
+                    }
+                }
+                TraceEvent::Overhead { dur_s, energy_j, .. } => {
+                    s.overhead_s += dur_s;
+                    s.static_energy_j += energy_j;
+                    lane.0 += dur_s;
+                }
+                TraceEvent::DvfsTransition { dur_s, energy_j, .. } => {
+                    s.dvfs_transitions += 1;
+                    s.overhead_s += dur_s;
+                    s.static_energy_j += energy_j;
+                    lane.0 += dur_s;
+                }
+                TraceEvent::Idle { dur_s, .. } => {
+                    s.idle_s += dur_s;
+                    lane.1 += dur_s;
+                }
+            }
+        }
+        s
+    }
+
+    /// The summary as a JSON tree (schema `dae-trace-summary/1`).
+    pub fn to_json(&self) -> JsonValue {
+        fn phase(time_s: f64, counters: &PhaseCounters) -> JsonValue {
+            let mut pairs = vec![("time_s".to_string(), JsonValue::from(time_s))];
+            if let JsonValue::Obj(counter_pairs) = counters.to_json() {
+                pairs.extend(counter_pairs);
+            }
+            JsonValue::Obj(pairs)
+        }
+        JsonValue::obj([
+            ("schema", "dae-trace-summary/1".into()),
+            ("cores", self.cores.into()),
+            ("events", self.events.into()),
+            ("makespan_s", self.makespan_s.into()),
+            ("tasks", self.tasks.into()),
+            ("access_phases", self.access_phases.into()),
+            ("dvfs_transitions", self.dvfs_transitions.into()),
+            (
+                "phase_s",
+                JsonValue::obj([
+                    ("access", self.access_s.into()),
+                    ("execute", self.execute_s.into()),
+                    ("overhead", self.overhead_s.into()),
+                    ("idle", self.idle_s.into()),
+                ]),
+            ),
+            (
+                "energy_j",
+                JsonValue::obj([
+                    ("dynamic", self.dyn_energy_j.into()),
+                    ("static", self.static_energy_j.into()),
+                    ("total", (self.dyn_energy_j + self.static_energy_j).into()),
+                ]),
+            ),
+            ("access", phase(self.access_s, &self.access_counters)),
+            ("execute", phase(self.execute_s, &self.execute_counters)),
+            (
+                "per_core",
+                JsonValue::Arr(
+                    self.per_core
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (busy, idle, spans))| {
+                            JsonValue::obj([
+                                ("core", i.into()),
+                                ("busy_s", (*busy).into()),
+                                ("idle_s", (*idle).into()),
+                                ("spans", (*spans).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Renders the recorded events as a summary-JSON string.
+pub fn summary_json(rec: &Recorder) -> String {
+    summary_json_with(rec, Vec::new())
+}
+
+/// Same as [`summary_json`], with extra top-level entries appended (e.g.
+/// the run's `RunReport`).
+pub fn summary_json_with(rec: &Recorder, extra: Vec<(String, JsonValue)>) -> String {
+    let mut v = Summary::from_recorder(rec).to_json();
+    if let JsonValue::Obj(pairs) = &mut v {
+        pairs.extend(extra);
+    }
+    v.to_json_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PhaseKind;
+    use crate::json::parse;
+    use crate::sink::TraceSink;
+
+    fn recorder() -> Recorder {
+        let mut rec = Recorder::new(2);
+        for (task, core) in [(0u32, 0u32), (1, 1)] {
+            rec.record(TraceEvent::Overhead {
+                core,
+                task,
+                start_s: 0.0,
+                dur_s: 1e-7,
+                energy_j: 1e-9,
+            });
+            rec.record(TraceEvent::DvfsTransition {
+                core,
+                start_s: 1e-7,
+                dur_s: 5e-7,
+                from_ghz: 3.4,
+                to_ghz: 1.6,
+                energy_j: 1e-9,
+            });
+            rec.record(TraceEvent::Phase {
+                core,
+                task,
+                name: "a".into(),
+                kind: PhaseKind::Access,
+                start_s: 6e-7,
+                dur_s: 2e-6,
+                freq_ghz: 1.6,
+                dyn_energy_j: 4e-9,
+                static_energy_j: 1e-9,
+                counters: PhaseCounters { instrs: 50, prefetches: 8, ..Default::default() },
+            });
+            rec.record(TraceEvent::Phase {
+                core,
+                task,
+                name: "e".into(),
+                kind: PhaseKind::Execute,
+                start_s: 2.6e-6,
+                dur_s: 3e-6,
+                freq_ghz: 3.4,
+                dyn_energy_j: 8e-9,
+                static_energy_j: 2e-9,
+                counters: PhaseCounters { instrs: 400, loads: 64, ..Default::default() },
+            });
+        }
+        rec.record(TraceEvent::Idle { core: 1, start_s: 5.6e-6, dur_s: 1e-6 });
+        rec
+    }
+
+    #[test]
+    fn totals_aggregate_by_category() {
+        let s = Summary::from_recorder(&recorder());
+        assert_eq!((s.cores, s.tasks, s.access_phases, s.dvfs_transitions), (2, 2, 2, 2));
+        assert!((s.access_s - 4e-6).abs() < 1e-18);
+        assert!((s.execute_s - 6e-6).abs() < 1e-18);
+        assert!((s.overhead_s - 2.0 * 6e-7).abs() < 1e-18);
+        assert!((s.idle_s - 1e-6).abs() < 1e-18);
+        assert!((s.dyn_energy_j - 2.0 * 12e-9).abs() < 1e-18);
+        assert!((s.static_energy_j - 2.0 * 5e-9).abs() < 1e-18);
+        assert_eq!(s.execute_counters.instrs, 800);
+        assert_eq!(s.access_counters.prefetches, 16);
+        // Core 1 carries the idle gap; both cores are equally busy.
+        assert!((s.per_core[0].0 - s.per_core[1].0).abs() < 1e-18);
+        assert_eq!(s.per_core[0].1, 0.0);
+        assert!((s.per_core[1].1 - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn json_round_trips_and_carries_schema() {
+        let text = summary_json_with(
+            &recorder(),
+            vec![("label".to_string(), JsonValue::from("unit-test"))],
+        );
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("dae-trace-summary/1"));
+        assert_eq!(v.get("tasks").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("label").unwrap().as_str(), Some("unit-test"));
+        let phase_s = v.get("phase_s").unwrap();
+        let total: f64 = ["access", "execute", "overhead", "idle"]
+            .iter()
+            .map(|k| phase_s.get(k).unwrap().as_f64().unwrap())
+            .sum();
+        // Per-core busy + idle accounts for every phase second.
+        let per_core = v.get("per_core").unwrap().as_arr().unwrap();
+        let lanes: f64 = per_core
+            .iter()
+            .map(|c| {
+                c.get("busy_s").unwrap().as_f64().unwrap()
+                    + c.get("idle_s").unwrap().as_f64().unwrap()
+            })
+            .sum();
+        assert!((total - lanes).abs() < 1e-15);
+        assert_eq!(v.get("execute").unwrap().get("instrs").unwrap().as_f64(), Some(800.0));
+    }
+}

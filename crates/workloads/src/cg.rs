@@ -41,16 +41,17 @@ fn build_spmv(m: &mut Module, ar: &Arrays) -> FuncId {
         let row1 = b.iadd(row, 1i64);
         let rp_b = b.elem_addr(Value::Global(ar.rowptr), row1, Type::I64);
         let k_hi = b.load(Type::I64, rp_b);
-        let acc = b.counted_loop_carried(k_lo, k_hi, Value::i64(1), vec![Value::f64(0.0)], |b, k, c| {
-            let aa = b.elem_addr(Value::Global(ar.a), k, Type::F64);
-            let av = b.load(Type::F64, aa);
-            let ca = b.elem_addr(Value::Global(ar.col), k, Type::I64);
-            let cj = b.load(Type::I64, ca);
-            let xa = b.elem_addr(Value::Global(ar.x), cj, Type::F64);
-            let xv = b.load(Type::F64, xa);
-            let t = b.fmul(av, xv);
-            vec![b.fadd(c[0], t)]
-        });
+        let acc =
+            b.counted_loop_carried(k_lo, k_hi, Value::i64(1), vec![Value::f64(0.0)], |b, k, c| {
+                let aa = b.elem_addr(Value::Global(ar.a), k, Type::F64);
+                let av = b.load(Type::F64, aa);
+                let ca = b.elem_addr(Value::Global(ar.col), k, Type::I64);
+                let cj = b.load(Type::I64, ca);
+                let xa = b.elem_addr(Value::Global(ar.x), cj, Type::F64);
+                let xv = b.load(Type::F64, xa);
+                let t = b.fmul(av, xv);
+                vec![b.fadd(c[0], t)]
+            });
         let ya = b.elem_addr(Value::Global(ar.y), row, Type::F64);
         b.store(ya, acc[0]);
     });
@@ -218,7 +219,8 @@ mod tests {
         };
         let mut expected = vec![0.0f64; rows as usize];
         for row in 0..rows {
-            let (lo, hi) = (rd_i(&machine.memory, "rowptr", row), rd_i(&machine.memory, "rowptr", row + 1));
+            let (lo, hi) =
+                (rd_i(&machine.memory, "rowptr", row), rd_i(&machine.memory, "rowptr", row + 1));
             let mut s = 0.0;
             for k in lo..hi {
                 let c = rd_i(&machine.memory, "col", k);

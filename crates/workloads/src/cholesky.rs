@@ -52,12 +52,8 @@ fn build_diag(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
             let gi = b.iadd(k0, i);
             let aij = elem2(b, a, gi, gj, n);
             let vij = b.load(Type::F64, aij);
-            let acc = b.counted_loop_carried(
-                Value::i64(0),
-                j,
-                Value::i64(1),
-                vec![vij],
-                |b, p, c| {
+            let acc =
+                b.counted_loop_carried(Value::i64(0), j, Value::i64(1), vec![vij], |b, p, c| {
                     let gp = b.iadd(k0, p);
                     let aip = elem2(b, a, gi, gp, n);
                     let ajp = elem2(b, a, gj, gp, n);
@@ -65,8 +61,7 @@ fn build_diag(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
                     let v2 = b.load(Type::F64, ajp);
                     let t = b.fmul(v1, v2);
                     vec![b.fsub(c[0], t)]
-                },
-            );
+                });
             let q = b.fdiv(acc[0], d);
             b.store(aij, q);
         });
@@ -86,15 +81,16 @@ fn build_panel(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
             let gj = b.iadd(k0, j);
             let dst = elem2(b, a, gi, gj, n);
             let init = b.load(Type::F64, dst);
-            let acc = b.counted_loop_carried(Value::i64(0), j, Value::i64(1), vec![init], |b, p, c| {
-                let gp = b.iadd(k0, p);
-                let aip = elem2(b, a, gi, gp, n);
-                let ajp = elem2(b, a, gj, gp, n);
-                let v1 = b.load(Type::F64, aip);
-                let v2 = b.load(Type::F64, ajp);
-                let t = b.fmul(v1, v2);
-                vec![b.fsub(c[0], t)]
-            });
+            let acc =
+                b.counted_loop_carried(Value::i64(0), j, Value::i64(1), vec![init], |b, p, c| {
+                    let gp = b.iadd(k0, p);
+                    let aip = elem2(b, a, gi, gp, n);
+                    let ajp = elem2(b, a, gj, gp, n);
+                    let v1 = b.load(Type::F64, aip);
+                    let v2 = b.load(Type::F64, ajp);
+                    let t = b.fmul(v1, v2);
+                    vec![b.fsub(c[0], t)]
+                });
             let diag = elem2(b, a, gj, gj, n);
             let vd = b.load(Type::F64, diag);
             let q = b.fdiv(acc[0], vd);
@@ -314,8 +310,7 @@ mod tests {
         // while the selective manual version leaves the written block cold.
         let mut w = build_sized(64, 16);
         w.compile_auto();
-        let cfg = RuntimeConfig::paper_default()
-            .with_policy(dae_runtime::FreqPolicy::DaeMinMax);
+        let cfg = RuntimeConfig::paper_default().with_policy(dae_runtime::FreqPolicy::DaeMinMax);
         let manual = run_workload(&w.module, &w.tasks(Variant::ManualDae), &cfg).unwrap();
         let auto = run_workload(&w.module, &w.tasks(Variant::AutoDae), &cfg).unwrap();
         // The auto version prefetches at least as much data…

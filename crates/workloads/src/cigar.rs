@@ -65,11 +65,8 @@ fn build_eval(m: &mut Module, a: &Arrays, len: i64) -> FuncId {
 /// against the case selected through the index table (case injection — one
 /// injected case per generation, as in CIGAR proper).
 fn build_inject(m: &mut Module, a: &Arrays, len: i64) -> FuncId {
-    let mut b = FunctionBuilder::new(
-        "cigar_inject",
-        vec![Type::I64, Type::I64, Type::I64],
-        Type::Void,
-    );
+    let mut b =
+        FunctionBuilder::new("cigar_inject", vec![Type::I64, Type::I64, Type::I64], Type::Void);
     b.set_task();
     let (lo, hi, case_id) = (Value::Arg(0), Value::Arg(1), Value::Arg(2));
     // ci = case_idx[case_id] — one level of indirection
@@ -107,8 +104,7 @@ fn build_inject(m: &mut Module, a: &Arrays, len: i64) -> FuncId {
 /// permutation/weight tables once, and skip the gather targets the expert
 /// knows mostly hit after the table warms.
 fn build_manual_eval(m: &mut Module, a: &Arrays, len: i64) -> FuncId {
-    let mut b =
-        FunctionBuilder::new("cigar_eval__manual", vec![Type::I64, Type::I64], Type::Void);
+    let mut b = FunctionBuilder::new("cigar_eval__manual", vec![Type::I64, Type::I64], Type::Void);
     let (lo, hi) = (Value::Arg(0), Value::Arg(1));
     let lo_g = b.imul(lo, len);
     let hi_g = b.imul(hi, len);
@@ -177,10 +173,7 @@ pub fn build_sized(pop: i64, len: i64, cases: i64, chunk: i64) -> Workload {
         pop: init_i64_global(&mut module, "pop", &pop_bits),
         weights: init_f64_global(&mut module, "weights", &weights),
         perm: init_i64_global(&mut module, "perm", &perm),
-        fitness: {
-            let g = module.add_global("fitness", Type::F64, pop as u64);
-            g
-        },
+        fitness: module.add_global("fitness", Type::F64, pop as u64),
         cases: init_i64_global(&mut module, "cases", &case_bits),
         case_idx: init_i64_global(&mut module, "case_idx", &case_idx),
         sim: module.add_global("sim", Type::F64, pop as u64),

@@ -297,8 +297,7 @@ mod tests {
         // the manual one completes faster.
         let mut w = build_sized(1024, 2);
         w.compile_auto();
-        let cfg =
-            RuntimeConfig::paper_default().with_policy(dae_runtime::FreqPolicy::DaeMinMax);
+        let cfg = RuntimeConfig::paper_default().with_policy(dae_runtime::FreqPolicy::DaeMinMax);
         let manual = run_workload(&w.module, &w.tasks(Variant::ManualDae), &cfg).unwrap();
         let auto = run_workload(&w.module, &w.tasks(Variant::AutoDae), &cfg).unwrap();
         assert!(manual.breakdown.access_s < auto.breakdown.access_s);

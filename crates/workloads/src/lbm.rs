@@ -69,7 +69,7 @@ fn build_task(m: &mut Module, f: GlobalId, obst: GlobalId, w: i64, h: i64) -> Fu
                 |b| {
                     let s01 = b.fadd(dist[0], dist[1]);
                     let s23 = b.fadd(dist[2], dist[3]);
-                    let s= b.fadd(s01, s23);
+                    let s = b.fadd(s01, s23);
                     let rho = b.fadd(s, dist[4]);
                     let eq = b.fmul(rho, 1.0 / Q as f64);
                     let omega = 0.6f64;
@@ -87,7 +87,7 @@ fn build_task(m: &mut Module, f: GlobalId, obst: GlobalId, w: i64, h: i64) -> Fu
             // direction (torus wrap on the flat index, branch-free via
             // selects — division-free, as real LBM codes do with ghost
             // layers).
-            let offsets = [0i64, -1 * w, w, 1, -1]; // C, N, S, E, W
+            let offsets = [0i64, -w, w, 1, -1]; // C, N, S, E, W
             for (q, off) in offsets.iter().enumerate() {
                 let t = b.iadd(cell, *off);
                 let neg = b.cmp(CmpOp::Lt, t, 0i64);
@@ -149,8 +149,7 @@ pub fn build_sized(w: i64, h: i64, chunk: i64, iters: i64) -> Workload {
     }
     let f = init_f64_global(&mut module, "f", &init);
     // ~6% obstacle cells, deterministic.
-    let obst: Vec<i64> =
-        (0..plane).map(|k| i64::from((k * 2654435761 + 17) % 16 == 0)).collect();
+    let obst: Vec<i64> = (0..plane).map(|k| i64::from((k * 2654435761 + 17) % 16 == 0)).collect();
     let obst = init_i64_global(&mut module, "obst", &obst);
 
     let task = build_task(&mut module, f, obst, w, h);

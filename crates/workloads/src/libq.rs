@@ -172,7 +172,7 @@ pub fn build_sized(states: i64, chunk: i64) -> Workload {
 
     // A Grover-ish gate sequence, chunked.
     let (c, s) = (0.92387953251, 0.38268343236); // cos/sin π/8
-    // Gates apply sequentially to the register: one barrier epoch per gate.
+                                                 // Gates apply sequentially to the register: one barrier epoch per gate.
     let push_chunks = |w: &mut Workload, f: FuncId, head: Vec<Val>, epoch: u32| {
         let mut lo = 0;
         while lo < states {
@@ -264,11 +264,7 @@ mod tests {
         let map = w.auto_map().unwrap();
         assert!(map.refused.is_empty(), "{:?}", map.refused);
         for (task, s) in &map.strategy_of {
-            assert!(
-                matches!(s, Strategy::Skeleton),
-                "{}: {s:?}",
-                w.module.func(*task).name
-            );
+            assert!(matches!(s, Strategy::Skeleton), "{}: {s:?}", w.module.func(*task).name);
         }
         for (_, info) in &map.info_of {
             assert_eq!(info.loops_affine, 0, "Table 1: 0 affine loops");

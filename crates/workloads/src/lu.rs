@@ -24,13 +24,7 @@ pub const N: i64 = 128;
 pub const B: i64 = 32;
 
 /// Emits `addr = &A[(row)][(col)]` given element index expressions.
-fn elem2(
-    b: &mut FunctionBuilder,
-    a: GlobalId,
-    row: Value,
-    col: Value,
-    n: i64,
-) -> Value {
+fn elem2(b: &mut FunctionBuilder, a: GlobalId, row: Value, col: Value, n: i64) -> Value {
     let r = b.imul(row, n);
     let idx = b.iadd(r, col);
     b.elem_addr(Value::Global(a), idx, Type::F64)
@@ -80,12 +74,8 @@ fn build_row(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
             let gj = b.iadd(j0, j);
             let dst = elem2(b, a, gi, gj, n);
             let init = b.load(Type::F64, dst);
-            let acc = b.counted_loop_carried(
-                Value::i64(0),
-                i,
-                Value::i64(1),
-                vec![init],
-                |b, p, c| {
+            let acc =
+                b.counted_loop_carried(Value::i64(0), i, Value::i64(1), vec![init], |b, p, c| {
                     let gp = b.iadd(k0, p);
                     let lip = elem2(b, a, gi, gp, n);
                     let upj = elem2(b, a, gp, gj, n);
@@ -93,8 +83,7 @@ fn build_row(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
                     let vu = b.load(Type::F64, upj);
                     let t = b.fmul(vl, vu);
                     vec![b.fsub(c[0], t)]
-                },
-            );
+                });
             b.store(dst, acc[0]);
         });
     });
@@ -113,12 +102,8 @@ fn build_col(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
             let gj = b.iadd(k0, j);
             let dst = elem2(b, a, gi, gj, n);
             let init = b.load(Type::F64, dst);
-            let acc = b.counted_loop_carried(
-                Value::i64(0),
-                j,
-                Value::i64(1),
-                vec![init],
-                |b, p, c| {
+            let acc =
+                b.counted_loop_carried(Value::i64(0), j, Value::i64(1), vec![init], |b, p, c| {
                     let gp = b.iadd(k0, p);
                     let lip = elem2(b, a, gi, gp, n);
                     let upj = elem2(b, a, gp, gj, n);
@@ -126,8 +111,7 @@ fn build_col(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
                     let vu = b.load(Type::F64, upj);
                     let t = b.fmul(vl, vu);
                     vec![b.fsub(c[0], t)]
-                },
-            );
+                });
             let diag = elem2(b, a, gj, gj, n);
             let vd = b.load(Type::F64, diag);
             let q = b.fdiv(acc[0], vd);
@@ -140,8 +124,7 @@ fn build_col(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
 
 fn build_inner(m: &mut Module, a: GlobalId, n: i64, blk: i64) -> FuncId {
     // lu_inner(k0, i0, j0): A[i0+i][j0+j] -= Σ_p A[i0+i][k0+p]·A[k0+p][j0+j]
-    let mut b =
-        FunctionBuilder::new("lu_inner", vec![Type::I64, Type::I64, Type::I64], Type::Void);
+    let mut b = FunctionBuilder::new("lu_inner", vec![Type::I64, Type::I64, Type::I64], Type::Void);
     b.set_task();
     let (k0, i0, j0) = (Value::Arg(0), Value::Arg(1), Value::Arg(2));
     b.counted_loop(Value::i64(0), Value::i64(blk), Value::i64(1), |b, i| {
@@ -404,8 +387,7 @@ mod tests {
         let n = 16i64;
         let mut w = build_sized(n, 8);
         w.compile_auto();
-        let cfg = RuntimeConfig::paper_default()
-            .with_policy(dae_runtime::FreqPolicy::DaeMinMax);
+        let cfg = RuntimeConfig::paper_default().with_policy(dae_runtime::FreqPolicy::DaeMinMax);
         let cae = run_workload(&w.module, &w.tasks(Variant::Cae), &RuntimeConfig::paper_default())
             .unwrap();
         let auto = run_workload(&w.module, &w.tasks(Variant::AutoDae), &cfg).unwrap();

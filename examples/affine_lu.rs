@@ -60,8 +60,10 @@ fn main() {
             stats.orig_depth, stats.gen_depth, stats.classes, stats.nests
         );
     }
-    println!("\nGenerated access version (cf. Listing 1(c)):\n{}",
-        dae_ir::print_function(&g.func, Some(&module)));
+    println!(
+        "\nGenerated access version (cf. Listing 1(c)):\n{}",
+        dae_ir::print_function(&g.func, Some(&module))
+    );
 
     // ---- Listing 3: two blocks of one array, parameter classes ------------
     let mut b = FunctionBuilder::new(
@@ -103,6 +105,8 @@ fn main() {
         println!("class never spans the gap between the blocks (Figure 2).");
         println!("NOrig = {}, NconvUn = {}", stats.n_orig, stats.n_conv_un);
     }
-    println!("\nGenerated access version (cf. Listing 3(b)):\n{}",
-        dae_ir::print_function(&g3.func, Some(&module)));
+    println!(
+        "\nGenerated access version (cf. Listing 3(b)):\n{}",
+        dae_ir::print_function(&g3.func, Some(&module))
+    );
 }

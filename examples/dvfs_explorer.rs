@@ -2,11 +2,17 @@
 //! printing the time/energy/EDP landscape the runtime's Optimal-f policy
 //! searches — a miniature of the paper's Figure 4 methodology.
 //!
+//! The decoupled frequency-pair sweep runs with event tracing on and
+//! drops one Chrome trace per explored pair under `target/repro/traces/`
+//! (open them in <https://ui.perfetto.dev> to compare schedules).
+//!
 //! Run: `cargo run --release --example dvfs_explorer [lu|cholesky|fft|lbm|libq|cigar|cg]`
 
 use dae_power::{DvfsConfig, DvfsTable, FreqId};
-use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig};
+use dae_repro::trace::{chrome, json::JsonValue, Recorder};
+use dae_runtime::{run_workload, run_workload_traced, FreqPolicy, RuntimeConfig};
 use dae_workloads::{Variant, Workload};
+use std::path::PathBuf;
 
 fn pick(name: &str) -> Workload {
     match name {
@@ -21,6 +27,12 @@ fn pick(name: &str) -> Workload {
     }
 }
 
+fn trace_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/repro/traces");
+    std::fs::create_dir_all(&dir).expect("create target/repro/traces");
+    dir
+}
+
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "libq".to_string());
     let mut w = pick(&name);
@@ -30,11 +42,10 @@ fn main() {
     println!("{} — time (ms) / energy (mJ) / EDP (uJ·s), 500 ns DVFS latency\n", w.name);
     println!("{:<26} {:>10} {:>12} {:>12}", "configuration", "time", "energy", "EDP");
 
-    let run = |label: String, variant: Variant, policy: FreqPolicy| {
-        let cfg = RuntimeConfig::paper_default()
-            .with_policy(policy)
-            .with_dvfs(DvfsConfig::latency_500ns());
-        let r = run_workload(&w.module, &w.tasks(variant), &cfg).expect("run");
+    let cfg_for = |policy: FreqPolicy| {
+        RuntimeConfig::paper_default().with_policy(policy).with_dvfs(DvfsConfig::latency_500ns())
+    };
+    let print_row = |label: &str, r: &dae_runtime::RunReport| {
         println!(
             "{:<26} {:>10.3} {:>12.3} {:>12.3}",
             label,
@@ -42,6 +53,10 @@ fn main() {
             r.energy_j * 1e3,
             r.edp() * 1e6
         );
+    };
+    let run = |label: String, variant: Variant, policy: FreqPolicy| {
+        let r = run_workload(&w.module, &w.tasks(variant), &cfg_for(policy)).expect("run");
+        print_row(&label, &r);
     };
 
     for i in 0..table.len() {
@@ -53,15 +68,35 @@ fn main() {
         );
     }
     run("CAE optimal-EDP".into(), Variant::Cae, FreqPolicy::CoupledOptimal);
+
+    // The decoupled pair sweep is traced: one Perfetto-loadable file per
+    // (access, execute) frequency pair.
+    let mut paths = Vec::new();
     for i in 0..table.len() {
-        let f = FreqId(i);
-        run(
-            format!("Auto DAE exec @ {:.1} GHz", table.point(f).ghz),
-            Variant::AutoDae,
-            FreqPolicy::DaePhases { access: table.min(), execute: f },
-        );
+        let (access, execute) = (table.min(), FreqId(i));
+        let policy = FreqPolicy::DaePhases { access, execute };
+        let cfg = cfg_for(policy);
+        let mut rec = Recorder::new(cfg.cores);
+        let r = run_workload_traced(&w.module, &w.tasks(Variant::AutoDae), &cfg, &mut rec)
+            .expect("run");
+        let (a_ghz, e_ghz) = (table.point(access).ghz, table.point(execute).ghz);
+        print_row(&format!("Auto DAE exec @ {e_ghz:.1} GHz"), &r);
+        let path = trace_dir().join(format!("{}_access{:.1}_exec{:.1}.json", w.name, a_ghz, e_ghz));
+        let meta = vec![
+            ("benchmark".to_string(), JsonValue::from(w.name)),
+            ("access_ghz".to_string(), a_ghz.into()),
+            ("execute_ghz".to_string(), e_ghz.into()),
+            ("report".to_string(), r.to_json()),
+        ];
+        std::fs::write(&path, chrome::chrome_trace_json_with(&rec, meta)).expect("write trace");
+        paths.push(path);
     }
     run("Auto DAE min/max".into(), Variant::AutoDae, FreqPolicy::DaeMinMax);
     run("Auto DAE optimal-EDP".into(), Variant::AutoDae, FreqPolicy::DaeOptimal);
     run("Manual DAE optimal-EDP".into(), Variant::ManualDae, FreqPolicy::DaeOptimal);
+
+    println!("\ntraces ({}, open in ui.perfetto.dev):", paths.len());
+    for p in &paths {
+        println!("   -> {}", p.display());
+    }
 }

@@ -82,7 +82,12 @@ fn main() {
     );
     b.ret(None);
     let conv = module.add_function(b.finish());
-    show(&module, conv, "convergence loop (writes its own control flag)", &CompilerOptions::default());
+    show(
+        &module,
+        conv,
+        "convergence loop (writes its own control flag)",
+        &CompilerOptions::default(),
+    );
 }
 
 fn show(module: &Module, task: FuncId, label: &str, opts: &CompilerOptions) {

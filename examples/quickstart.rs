@@ -49,17 +49,21 @@ fn main() {
 
     let base = RuntimeConfig::paper_default();
     let cae = run_workload(&module, &tasks_cae, &base).expect("cae run");
-    let dae = run_workload(
-        &module,
-        &tasks_dae,
-        &base.clone().with_policy(FreqPolicy::DaeOptimal),
-    )
-    .expect("dae run");
+    let dae = run_workload(&module, &tasks_dae, &base.clone().with_policy(FreqPolicy::DaeOptimal))
+        .expect("dae run");
 
-    println!("CAE @fmax:        time {:>8.3} ms  energy {:>7.3} mJ  EDP {:.3e}",
-        cae.time_s * 1e3, cae.energy_j * 1e3, cae.edp());
-    println!("DAE optimal-EDP:  time {:>8.3} ms  energy {:>7.3} mJ  EDP {:.3e}",
-        dae.time_s * 1e3, dae.energy_j * 1e3, dae.edp());
+    println!(
+        "CAE @fmax:        time {:>8.3} ms  energy {:>7.3} mJ  EDP {:.3e}",
+        cae.time_s * 1e3,
+        cae.energy_j * 1e3,
+        cae.edp()
+    );
+    println!(
+        "DAE optimal-EDP:  time {:>8.3} ms  energy {:>7.3} mJ  EDP {:.3e}",
+        dae.time_s * 1e3,
+        dae.energy_j * 1e3,
+        dae.edp()
+    );
     println!(
         "EDP improvement: {:.1}%  (execute-phase DRAM misses: {} -> {})",
         (1.0 - dae.edp() / cae.edp()) * 100.0,

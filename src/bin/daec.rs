@@ -6,21 +6,37 @@
 //! ```text
 //! daec <file.dae> [--report] [--run] [--hints a,b,c] [--no-polyhedral]
 //!      [--no-cfg-simplify] [--line-dedup] [--prefetch-writes]
+//!      [--trace-out <file> [--trace-format chrome|summary]]
 //! ```
 //!
-//! * `--report`  print per-task strategy/statistics instead of IR
-//! * `--run`     additionally execute every task (coupled vs decoupled)
-//!               and report time/energy/EDP under the paper's machine model
-//! * `--hints`   representative parameter values for profitability counts
-//!               (applied to every task)
+//! * `--report` — print per-task strategy/statistics instead of IR
+//! * `--run` — additionally execute every task (coupled vs decoupled) and
+//!   report time/energy/EDP under the paper's machine model
+//! * `--hints` — representative parameter values for profitability counts
+//!   (applied to every task)
+//! * `--trace-out` — run every task once (decoupled where possible, the
+//!   optimal-EDP policy) with event tracing on and write the trace to
+//!   `<file>`
+//! * `--trace-format` — `chrome` (default; open in
+//!   <https://ui.perfetto.dev> or `chrome://tracing`) or `summary`
+//!   (compact aggregate JSON)
 //!
 //! Try it on the bundled examples: `cargo run --bin daec -- examples/ir/stream.dae --report --run`
 
 use dae_repro::compiler::{transform_module, CompilerOptions, Strategy};
-use dae_repro::ir::{parse::parse_module, print_module, verify_module};
-use dae_repro::runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
+use dae_repro::ir::{parse::parse_module, print_module, verify_module, Function};
+use dae_repro::runtime::{
+    run_workload, run_workload_traced, FreqPolicy, RuntimeConfig, TaskInstance,
+};
 use dae_repro::sim::Val;
+use dae_repro::trace::{chrome, json::JsonValue, summary, Recorder};
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Summary,
+}
 
 struct Args {
     file: String,
@@ -28,6 +44,8 @@ struct Args {
     run: bool,
     hints: Vec<i64>,
     opts: CompilerOptions,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
     let mut run = false;
     let mut hints = Vec::new();
     let mut opts = CompilerOptions::default();
+    let mut trace_out = None;
+    let mut trace_format = TraceFormat::Chrome;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +68,18 @@ fn parse_args() -> Result<Args, String> {
                     .map(|s| s.trim().parse::<i64>().map_err(|e| format!("bad hint: {e}")))
                     .collect::<Result<_, _>>()?;
             }
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--trace-format" => {
+                trace_format = match it.next().ok_or("--trace-format needs a value")?.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "summary" => TraceFormat::Summary,
+                    other => {
+                        return Err(format!(
+                            "bad trace format `{other}` (expected chrome or summary)"
+                        ))
+                    }
+                };
+            }
             "--no-polyhedral" => opts.enable_polyhedral = false,
             "--no-cfg-simplify" => opts.cfg_simplify = false,
             "--line-dedup" => opts.line_dedup = true,
@@ -56,7 +88,30 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args { file: file.ok_or("usage: daec <file.dae> [--report] [--run] [--hints a,b,c]")?, report, run, hints, opts })
+    Ok(Args {
+        file: file.ok_or(
+            "usage: daec <file.dae> [--report] [--run] [--hints a,b,c] [--trace-out <file>]",
+        )?,
+        report,
+        run,
+        hints,
+        opts,
+        trace_out,
+        trace_format,
+    })
+}
+
+/// Argument vector for one task invocation: integer hints positionally,
+/// zero elsewhere.
+fn argv_for(f: &Function, hints: &[i64]) -> Vec<Val> {
+    f.params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t {
+            dae_repro::ir::Type::F64 => Val::F(0.0),
+            _ => Val::I(hints.get(i).copied().unwrap_or(0)),
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -84,7 +139,11 @@ fn run_main() -> Result<(), String> {
     let hints = args.hints.clone();
     let opts = args.opts.clone();
     let map = transform_module(&mut module, |_, f| CompilerOptions {
-        param_hints: if hints.len() == f.params.len() { hints.clone() } else { vec![0; f.params.len()] },
+        param_hints: if hints.len() == f.params.len() {
+            hints.clone()
+        } else {
+            vec![0; f.params.len()]
+        },
         ..opts.clone()
     });
     verify_module(&module).map_err(|e| e.to_string())?;
@@ -96,13 +155,22 @@ fn run_main() -> Result<(), String> {
             match map.strategy_of.get(task) {
                 Some(Strategy::Polyhedral(s)) => println!(
                     "{name:<20} {:<12} NOrig={} NconvUn={} classes={} nests={} depth {}→{}",
-                    "polyhedral", s.n_orig, s.n_conv_un, s.classes, s.nests, s.orig_depth, s.gen_depth
+                    "polyhedral",
+                    s.n_orig,
+                    s.n_conv_un,
+                    s.classes,
+                    s.nests,
+                    s.orig_depth,
+                    s.gen_depth
                 ),
                 Some(Strategy::Skeleton) => {
                     let info = &map.info_of[task];
                     println!(
                         "{name:<20} {:<12} affine loops {}/{}, {} loads ({} non-affine)",
-                        "skeleton", info.loops_affine, info.loops_total, info.total_loads,
+                        "skeleton",
+                        info.loops_affine,
+                        info.loops_total,
+                        info.total_loads,
                         info.non_affine_loads
                     );
                 }
@@ -118,32 +186,17 @@ fn run_main() -> Result<(), String> {
         let hints = &args.hints;
         for task in &tasks {
             let f = module.func(*task);
-            let argv: Vec<Val> = f
-                .params
-                .iter()
-                .enumerate()
-                .map(|(i, t)| match t {
-                    dae_repro::ir::Type::F64 => Val::F(0.0),
-                    _ => Val::I(hints.get(i).copied().unwrap_or(0)),
-                })
-                .collect();
+            let argv = argv_for(f, hints);
             let name = f.name.clone();
             let cae = vec![TaskInstance::coupled(*task, argv.clone())];
             let base = RuntimeConfig::paper_default();
             let r1 = run_workload(&module, &cae, &base).map_err(|e| e.to_string())?;
-            print!(
-                "{name:<20} CAE@fmax {:>9.3}us {:>9.3}uJ",
-                r1.time_s * 1e6,
-                r1.energy_j * 1e6
-            );
+            print!("{name:<20} CAE@fmax {:>9.3}us {:>9.3}uJ", r1.time_s * 1e6, r1.energy_j * 1e6);
             if let Some(access) = map.access(*task) {
                 let dae = vec![TaskInstance::decoupled(*task, access, argv)];
-                let r2 = run_workload(
-                    &module,
-                    &dae,
-                    &base.clone().with_policy(FreqPolicy::DaeOptimal),
-                )
-                .map_err(|e| e.to_string())?;
+                let r2 =
+                    run_workload(&module, &dae, &base.clone().with_policy(FreqPolicy::DaeOptimal))
+                        .map_err(|e| e.to_string())?;
                 println!(
                     "   DAE opt-f {:>9.3}us {:>9.3}uJ   EDP {:+.1}%",
                     r2.time_s * 1e6,
@@ -154,6 +207,41 @@ fn run_main() -> Result<(), String> {
                 println!("   (no access phase)");
             }
         }
+    }
+
+    if let Some(path) = &args.trace_out {
+        // One traced run of the whole module: every task fn as one
+        // instance, decoupled where an access phase was generated, under
+        // the paper's optimal-EDP policy.
+        let insts: Vec<TaskInstance> = tasks
+            .iter()
+            .map(|t| {
+                let argv = argv_for(module.func(*t), &args.hints);
+                match map.access(*t) {
+                    Some(a) => TaskInstance::decoupled(*t, a, argv),
+                    None => TaskInstance::coupled(*t, argv),
+                }
+            })
+            .collect();
+        let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaeOptimal);
+        let mut rec = Recorder::new(cfg.cores);
+        let report =
+            run_workload_traced(&module, &insts, &cfg, &mut rec).map_err(|e| e.to_string())?;
+        let meta: Vec<(String, JsonValue)> = vec![
+            ("source".to_string(), args.file.as_str().into()),
+            ("policy".to_string(), "dae-optimal".into()),
+            ("report".to_string(), report.to_json()),
+        ];
+        let text = match args.trace_format {
+            TraceFormat::Chrome => chrome::chrome_trace_json_with(&rec, meta),
+            TraceFormat::Summary => summary::summary_json_with(&rec, meta),
+        };
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let what = match args.trace_format {
+            TraceFormat::Chrome => "chrome trace (open in ui.perfetto.dev)",
+            TraceFormat::Summary => "summary JSON",
+        };
+        println!("trace: {} events over {} cores -> {path} [{what}]", rec.len(), rec.cores());
     }
     Ok(())
 }

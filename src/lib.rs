@@ -20,6 +20,7 @@
 //! | [`power`] | the §3.2 DVFS power/energy/EDP model |
 //! | [`sim`] | IR interpreter + OoO interval timing model |
 //! | [`runtime`] | task runtime: work stealing + per-phase DVFS |
+//! | [`trace`] | event-level tracing: Perfetto/Chrome-trace + summary JSON |
 //! | [`workloads`] | the seven evaluation benchmarks |
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
@@ -61,4 +62,5 @@ pub use dae_poly as poly;
 pub use dae_power as power;
 pub use dae_runtime as runtime;
 pub use dae_sim as sim;
+pub use dae_trace as trace;
 pub use dae_workloads as workloads;

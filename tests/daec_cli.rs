@@ -1,12 +1,10 @@
 //! Integration tests of the `daec` command-line driver.
 
+use dae_repro::trace::json::{parse, JsonValue};
 use std::process::Command;
 
 fn daec(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_daec"))
-        .args(args)
-        .output()
-        .expect("daec runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_daec")).args(args).output().expect("daec runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -69,6 +67,120 @@ fn bad_arguments_fail_cleanly() {
     let (ok, _, stderr) = daec(&[]);
     assert!(!ok);
     assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn trace_out_chrome_is_valid_and_reconciles_with_breakdown() {
+    let dir = std::env::temp_dir().join("daec_cli_trace_chrome");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("t.json");
+    let (ok, stdout, stderr) = daec(&[
+        &example("stream.dae"),
+        "--trace-out",
+        out.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("trace:"), "{stdout}");
+
+    let v = parse(&std::fs::read_to_string(&out).unwrap()).expect("valid JSON");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    let cores = v.get("metadata").unwrap().get("cores").unwrap().as_f64().unwrap() as usize;
+    assert_eq!(cores, 4);
+
+    // One named lane per simulated core.
+    let lanes: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .map(|e| e.get("tid").unwrap().as_f64().unwrap() as u64)
+        .collect();
+    assert_eq!(lanes, (0..cores as u64).collect::<Vec<_>>());
+
+    // Complete spans, grouped per lane: no overlap within a lane.
+    let spans: Vec<(&JsonValue, u64, f64, f64)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .map(|e| {
+            (
+                e,
+                e.get("tid").unwrap().as_f64().unwrap() as u64,
+                e.get("ts").unwrap().as_f64().unwrap(),
+                e.get("dur").unwrap().as_f64().unwrap(),
+            )
+        })
+        .collect();
+    assert!(!spans.is_empty());
+    for lane in 0..cores as u64 {
+        let mut mine: Vec<(f64, f64)> =
+            spans.iter().filter(|s| s.1 == lane).map(|s| (s.2, s.2 + s.3)).collect();
+        mine.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in mine.windows(2) {
+            assert!(w[1].0 >= w[0].1 - 1e-6, "lane {lane} overlap: {w:?}");
+        }
+    }
+
+    // Per-category span totals reconcile with the embedded RunReport
+    // breakdown to within 1e-9 s (ts/dur are microseconds).
+    let breakdown = v.get("metadata").unwrap().get("report").unwrap().get("breakdown").unwrap();
+    let total_us = |cats: &[&str]| -> f64 {
+        spans
+            .iter()
+            .filter(|s| cats.contains(&s.0.get("cat").unwrap().as_str().unwrap()))
+            .map(|s| s.3)
+            .sum()
+    };
+    let field = |k: &str| breakdown.get(k).unwrap().as_f64().unwrap() * 1e6;
+    assert!((total_us(&["access"]) - field("access_s")).abs() < 1e-3);
+    assert!((total_us(&["execute"]) - field("execute_s")).abs() < 1e-3);
+    assert!((total_us(&["overhead", "dvfs"]) - field("overhead_s")).abs() < 1e-3);
+    assert!((total_us(&["idle"]) - field("idle_s")).abs() < 1e-3);
+
+    // Phase spans carry counter snapshots.
+    let access_span = spans
+        .iter()
+        .find(|s| s.0.get("cat").unwrap().as_str() == Some("access"))
+        .expect("stream.dae generates an access phase");
+    let counters = access_span.0.get("args").unwrap().get("counters").unwrap();
+    assert!(counters.get("prefetches").unwrap().as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn trace_out_summary_matches_embedded_report() {
+    let dir = std::env::temp_dir().join("daec_cli_trace_summary");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("s.json");
+    let (ok, _, stderr) = daec(&[
+        &example("stream.dae"),
+        "--trace-out",
+        out.to_str().unwrap(),
+        "--trace-format",
+        "summary",
+    ]);
+    assert!(ok, "{stderr}");
+    let v = parse(&std::fs::read_to_string(&out).unwrap()).expect("valid JSON");
+    assert_eq!(v.get("schema").unwrap().as_str(), Some("dae-trace-summary/1"));
+    assert_eq!(v.get("source").unwrap().as_str().map(|s| s.ends_with("stream.dae")), Some(true));
+    let phase_s = v.get("phase_s").unwrap();
+    let breakdown = v.get("report").unwrap().get("breakdown").unwrap();
+    for (trace_key, report_key) in [
+        ("access", "access_s"),
+        ("execute", "execute_s"),
+        ("overhead", "overhead_s"),
+        ("idle", "idle_s"),
+    ] {
+        let a = phase_s.get(trace_key).unwrap().as_f64().unwrap();
+        let b = breakdown.get(report_key).unwrap().as_f64().unwrap();
+        assert!((a - b).abs() < 1e-9, "{trace_key}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn bad_trace_format_fails_cleanly() {
+    let (ok, _, stderr) =
+        daec(&[&example("stream.dae"), "--trace-out", "/tmp/x.json", "--trace-format", "xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad trace format"), "{stderr}");
 }
 
 #[test]

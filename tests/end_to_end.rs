@@ -69,12 +69,7 @@ fn dae_improves_edp_on_memory_bound_workload() {
         &base.clone().with_policy(FreqPolicy::DaeOptimal),
     )
     .unwrap();
-    assert!(
-        dae.edp() < cae.edp(),
-        "LibQ auto-DAE EDP {} must beat CAE {}",
-        dae.edp(),
-        cae.edp()
-    );
+    assert!(dae.edp() < cae.edp(), "LibQ auto-DAE EDP {} must beat CAE {}", dae.edp(), cae.edp());
     assert!(dae.time_s < cae.time_s * 1.15, "time penalty too large");
 }
 
@@ -164,13 +159,9 @@ fn polyhedral_access_covers_the_reads() {
     // Run access at a non-zero offset, then the task: all reads must hit.
     let args = [Val::I(8192)];
     let mut tr = PhaseTrace::default();
-    machine
-        .run(access, &args, &mut CachePort { core: &mut core, llc: &mut llc }, &mut tr)
-        .unwrap();
+    machine.run(access, &args, &mut CachePort { core: &mut core, llc: &mut llc }, &mut tr).unwrap();
     let mut te = PhaseTrace::default();
-    machine
-        .run(task, &args, &mut CachePort { core: &mut core, llc: &mut llc }, &mut te)
-        .unwrap();
+    machine.run(task, &args, &mut CachePort { core: &mut core, llc: &mut llc }, &mut te).unwrap();
     assert_eq!(te.demand_hits[3], 0, "no DRAM misses after prefetch");
     assert_eq!(te.hw_prefetch_lines, 0, "not even covered misses");
 }
@@ -211,9 +202,7 @@ fn runtime_balances_heterogeneous_tasks() {
 /// data than the default (drop-all-conditionals) version.
 #[test]
 fn profile_guided_access_warms_hot_path() {
-    use dae_repro::compiler::{
-        generate_skeleton_access_profiled, profile_task, HotPathConfig,
-    };
+    use dae_repro::compiler::{generate_skeleton_access_profiled, profile_task, HotPathConfig};
     let n = 4096i64;
     let mut module = Module::new();
     let data = module.add_global_init(dae_repro::ir::GlobalData {
@@ -318,11 +307,8 @@ fn runtime_execution_respects_dependencies() {
         let mut i = 0;
         while i < tasks.len() {
             let e = tasks[i].epoch;
-            let mut group: Vec<_> = tasks[i..]
-                .iter()
-                .take_while(|t| t.epoch == e)
-                .cloned()
-                .collect();
+            let mut group: Vec<_> =
+                tasks[i..].iter().take_while(|t| t.epoch == e).cloned().collect();
             i += group.len();
             group.reverse();
             permuted.extend(group);

@@ -62,10 +62,7 @@ fn all_policies(table: &DvfsTable) -> Vec<(&'static str, FreqPolicy)> {
         ("coupled-opt", FreqPolicy::CoupledOptimal),
         ("dae-minmax", FreqPolicy::DaeMinMax),
         ("dae-opt", FreqPolicy::DaeOptimal),
-        (
-            "dae-phases",
-            FreqPolicy::DaePhases { access: table.min(), execute: FreqId(2) },
-        ),
+        ("dae-phases", FreqPolicy::DaePhases { access: table.min(), execute: FreqId(2) }),
     ]
 }
 
@@ -113,10 +110,7 @@ fn optimal_edp_is_never_worse_than_fixed_choices() {
         )
         .unwrap()
         .edp();
-        assert!(
-            opt <= fixed * 1.001,
-            "optimal {opt} must not lose to fixed level {i} ({fixed})"
-        );
+        assert!(opt <= fixed * 1.001, "optimal {opt} must not lose to fixed level {i} ({fixed})");
     }
 }
 
@@ -127,8 +121,8 @@ fn dae_policies_ignore_missing_access_phases() {
     let coupled_only: Vec<TaskInstance> =
         tasks.iter().filter(|t| t.access.is_none()).cloned().collect();
     let base = RuntimeConfig::paper_default();
-    let r = run_workload(&m, &coupled_only, &base.clone().with_policy(FreqPolicy::DaeMinMax))
-        .unwrap();
+    let r =
+        run_workload(&m, &coupled_only, &base.clone().with_policy(FreqPolicy::DaeMinMax)).unwrap();
     assert_eq!(r.access_trace.instrs, 0);
     assert_eq!(r.breakdown.access_s, 0.0);
 }
@@ -170,8 +164,7 @@ fn energy_rises_with_frequency_for_memory_bound() {
     // For a bandwidth-bound stream, time barely changes with f, so energy
     // (and EDP) should be worse at fmax than at fmin.
     let (m, tasks) = mixed_module();
-    let streams: Vec<TaskInstance> =
-        tasks.iter().filter(|t| t.access.is_some()).cloned().collect();
+    let streams: Vec<TaskInstance> = tasks.iter().filter(|t| t.access.is_some()).cloned().collect();
     // Strip the access phases: plain coupled streaming.
     let coupled: Vec<TaskInstance> =
         streams.iter().map(|t| TaskInstance::coupled(t.func, t.args.clone())).collect();
