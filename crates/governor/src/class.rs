@@ -1,0 +1,127 @@
+//! Task classes: the key space the governor learns over.
+//!
+//! A *class* groups dynamic task instances that are expected to behave
+//! alike: the same IR function called with arguments of similar magnitude.
+//! The signature is deliberately coarse — it buckets each argument by its
+//! binary order of magnitude, so `stream(0)`, `stream(512)` and
+//! `stream(1024)` share one class while `stream(0, n=64)` and
+//! `stream(0, n=1<<20)` do not. Coarseness keeps the number of classes
+//! (and therefore warm-up cost) small without merging tasks whose working
+//! sets differ by orders of magnitude.
+
+use dae_ir::FuncId;
+use dae_sim::Val;
+
+/// Identifies a set of task instances the governor treats as equivalent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskClass {
+    /// The execute-phase function of the task.
+    pub func: FuncId,
+    /// Coarse signature of the argument vector (see [`TaskClass::of`]).
+    pub sig: u64,
+}
+
+/// Number of bits of `sig` used per argument.
+const SIG_BITS_PER_ARG: u64 = 7;
+
+impl TaskClass {
+    /// Builds the class of one task instance.
+    ///
+    /// Each argument contributes a small bucket code — integers and
+    /// pointers by bit length (so values within a factor of two share a
+    /// bucket), floats by sign and binary exponent octave, booleans
+    /// verbatim — folded into `sig` with a Fowler–Noll–Vo-style mix so
+    /// argument order matters.
+    pub fn of(func: FuncId, args: &[Val]) -> TaskClass {
+        let mut sig: u64 = 0xcbf2_9ce4_8422_2325;
+        for a in args {
+            let bucket = arg_bucket(a);
+            sig ^= bucket;
+            sig = sig.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TaskClass { func, sig }
+    }
+
+    /// Short hex form of the signature for labels and JSON keys.
+    pub fn sig_hex(&self) -> String {
+        format!("{:04x}", self.sig & 0xffff)
+    }
+}
+
+/// Bucket code of one argument: a tag in the low bits plus a coarse
+/// magnitude, `SIG_BITS_PER_ARG` bits total.
+fn arg_bucket(v: &Val) -> u64 {
+    let (tag, mag) = match v {
+        // Bit length of |v|: 0 and 1 are distinct, then octaves.
+        Val::I(i) => (0u64, 64 - i.unsigned_abs().leading_zeros() as u64),
+        // log2 octave of the magnitude, clamped to 5 bits.
+        Val::F(f) => {
+            let m = if *f == 0.0 || !f.is_finite() {
+                0
+            } else {
+                // IEEE-754 exponent field / 64: 32 coarse octave groups.
+                ((f.to_bits() >> 52) & 0x7ff) / 64
+            };
+            (1u64, m)
+        }
+        Val::B(b) => (2u64, *b as u64),
+        Val::P(p) => (3u64, 64 - p.leading_zeros() as u64),
+    };
+    (mag << 2 | tag) & ((1 << SIG_BITS_PER_ARG) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(n: u32) -> FuncId {
+        FuncId(n)
+    }
+
+    #[test]
+    fn same_magnitude_args_share_a_class() {
+        let a = TaskClass::of(f(0), &[Val::I(512)]);
+        let b = TaskClass::of(f(0), &[Val::I(700)]);
+        assert_eq!(a, b, "values within one octave must share a class");
+    }
+
+    #[test]
+    fn different_magnitudes_split_classes() {
+        let small = TaskClass::of(f(0), &[Val::I(64)]);
+        let large = TaskClass::of(f(0), &[Val::I(1 << 20)]);
+        assert_ne!(small, large);
+    }
+
+    #[test]
+    fn function_distinguishes_classes() {
+        let a = TaskClass::of(f(0), &[Val::I(1)]);
+        let b = TaskClass::of(f(1), &[Val::I(1)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn argument_order_matters() {
+        let a = TaskClass::of(f(0), &[Val::I(1), Val::I(1 << 30)]);
+        let b = TaskClass::of(f(0), &[Val::I(1 << 30), Val::I(1)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_buckets_are_coarse() {
+        let a = TaskClass::of(f(0), &[Val::F(1.0)]);
+        let b = TaskClass::of(f(0), &[Val::F(1.5)]);
+        assert_eq!(a, b);
+        let zero = TaskClass::of(f(0), &[Val::F(0.0)]);
+        let huge = TaskClass::of(f(0), &[Val::F(1e300)]);
+        assert_ne!(zero, huge);
+    }
+
+    #[test]
+    fn deterministic_and_hex_stable() {
+        let a = TaskClass::of(f(3), &[Val::I(42), Val::B(true), Val::P(8)]);
+        let b = TaskClass::of(f(3), &[Val::I(42), Val::B(true), Val::P(8)]);
+        assert_eq!(a.sig, b.sig);
+        assert_eq!(a.sig_hex(), b.sig_hex());
+        assert_eq!(a.sig_hex().len(), 4);
+    }
+}

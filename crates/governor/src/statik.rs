@@ -1,0 +1,110 @@
+//! The static governor: a fixed per-phase assignment behind the
+//! [`Governor`] interface.
+//!
+//! Wraps today's table-driven policies (`CoupledMax`, `DaeMinMax`,
+//! `DaePhases`) so static and learned frequency selection share one code
+//! path in the runtime, and so experiments can compare a learner against a
+//! fixed assignment without special-casing. It still tracks per-class
+//! observation statistics — the snapshot is useful — but never changes its
+//! decision and never trips the guard (the assignment *is* the fallback).
+
+use crate::cache::{CacheConfig, DecisionCache};
+use crate::class::TaskClass;
+use crate::obs::TaskObs;
+use crate::{ClassSnapshot, Decision, Governor};
+use dae_power::{DvfsTable, FreqId};
+
+/// A [`Governor`] that always returns the same per-phase assignment.
+#[derive(Clone, Debug)]
+pub struct StaticGovernor {
+    access: FreqId,
+    execute: FreqId,
+    cache: DecisionCache<()>,
+}
+
+impl StaticGovernor {
+    /// A fixed (access, execute) assignment.
+    pub fn fixed(access: FreqId, execute: FreqId) -> Self {
+        // The guard never trips: a static assignment has nothing to fall
+        // back to.
+        let cfg = CacheConfig { access_budget: f64::INFINITY, ..Default::default() };
+        StaticGovernor { access, execute, cache: DecisionCache::new(cfg) }
+    }
+
+    /// The paper's "Min/Max f." assignment: access at fmin, execute at
+    /// fmax.
+    pub fn min_max(table: &DvfsTable) -> Self {
+        StaticGovernor::fixed(table.min(), table.max())
+    }
+
+    /// Everything at fmax (the coupled baseline's assignment).
+    pub fn all_max(table: &DvfsTable) -> Self {
+        StaticGovernor::fixed(table.max(), table.max())
+    }
+}
+
+impl Governor for StaticGovernor {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&mut self, class: TaskClass) -> Decision {
+        let stable_after = self.cache.config().stable_after;
+        let (access, execute) = (self.access, self.execute);
+        self.cache.entry(class).note_decision(access, execute, stable_after);
+        Decision { access, execute, explore: false, guarded: false }
+    }
+
+    fn observe(&mut self, class: TaskClass, obs: &TaskObs) {
+        self.cache.observe_common(class, obs);
+    }
+
+    fn snapshot(&self) -> Vec<ClassSnapshot> {
+        self.cache
+            .iter()
+            .map(|(class, e)| ClassSnapshot {
+                class: *class,
+                observations: e.observations,
+                explored: e.explored,
+                converged: e.converged,
+                guarded: e.guarded,
+                access: self.access,
+                execute: self.execute,
+                mean_task_edp: e.mean_task_edp,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::PhaseObs;
+    use dae_ir::FuncId;
+
+    #[test]
+    fn decision_never_changes() {
+        let t = DvfsTable::sandybridge();
+        let mut g = StaticGovernor::min_max(&t);
+        let class = TaskClass::of(FuncId(0), &[]);
+        let first = g.decide(class);
+        assert_eq!(first.access, t.min());
+        assert_eq!(first.execute, t.max());
+        for _ in 0..20 {
+            // Even under guard-worthy feedback the assignment stands.
+            g.observe(
+                class,
+                &TaskObs {
+                    access: Some(PhaseObs { time_s: 0.9, energy_j: 1.0, ..Default::default() }),
+                    execute: PhaseObs { time_s: 0.1, energy_j: 1.0, ..Default::default() },
+                },
+            );
+            assert_eq!(g.decide(class), first);
+        }
+        let snap = g.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(!snap[0].guarded);
+        assert_eq!(snap[0].observations, 20);
+        assert!(snap[0].converged, "static decisions trivially converge");
+    }
+}

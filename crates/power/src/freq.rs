@@ -90,6 +90,19 @@ impl DvfsTable {
     pub fn iter(&self) -> impl Iterator<Item = (FreqId, FreqPoint)> + '_ {
         self.points.iter().enumerate().map(|(i, p)| (FreqId(i), *p))
     }
+
+    /// The operating point closest in frequency to `ghz` (ties go to the
+    /// slower point). Useful for mapping a continuous frequency target —
+    /// e.g. a governor's interpolated choice — onto the discrete table.
+    pub fn nearest(&self, ghz: f64) -> FreqId {
+        let mut best = 0;
+        for (i, p) in self.points.iter().enumerate() {
+            if (p.ghz - ghz).abs() < (self.points[best].ghz - ghz).abs() {
+                best = i;
+            }
+        }
+        FreqId(best)
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +136,19 @@ mod tests {
             FreqPoint { ghz: 2.0, volts: 1.0 },
             FreqPoint { ghz: 1.6, volts: 0.9 },
         ]);
+    }
+
+    #[test]
+    fn nearest_maps_onto_the_table() {
+        let t = DvfsTable::sandybridge();
+        assert_eq!(t.nearest(0.1), t.min());
+        assert_eq!(t.nearest(99.0), t.max());
+        assert_eq!(t.nearest(2.0), FreqId(1));
+        // Ties go to the slower point: 1.8 is equidistant from 1.6 and 2.0.
+        assert_eq!(t.nearest(1.8), FreqId(0));
+        for (id, p) in t.iter() {
+            assert_eq!(t.nearest(p.ghz), id);
+        }
     }
 
     #[test]

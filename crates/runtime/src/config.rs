@@ -1,5 +1,6 @@
 //! Runtime configuration and frequency policies.
 
+use dae_governor::GovernorKind;
 use dae_mem::HierarchyConfig;
 use dae_power::{DvfsConfig, DvfsTable, FreqId, PowerModel};
 use dae_sim::TimingConfig;
@@ -26,6 +27,10 @@ pub enum FreqPolicy {
         /// Frequency of the execute phase.
         execute: FreqId,
     },
+    /// DAE with an online governor choosing per-phase frequencies from
+    /// runtime feedback (`dae-governor`): the realistic counterpart of the
+    /// [`FreqPolicy::DaeOptimal`] oracle.
+    Governed(GovernorKind),
 }
 
 impl FreqPolicy {
@@ -34,8 +39,75 @@ impl FreqPolicy {
     pub fn is_decoupled(self) -> bool {
         matches!(
             self,
-            FreqPolicy::DaeMinMax | FreqPolicy::DaeOptimal | FreqPolicy::DaePhases { .. }
+            FreqPolicy::DaeMinMax
+                | FreqPolicy::DaeOptimal
+                | FreqPolicy::DaePhases { .. }
+                | FreqPolicy::Governed(_)
         )
+    }
+
+    /// Parses a policy spec as accepted by `daec --policy`. Frequencies
+    /// are given in GHz and snapped to the nearest point of `table`.
+    ///
+    /// Accepted forms: `coupled-max`, `coupled-fixed:<ghz>`,
+    /// `coupled-optimal`, `dae-minmax`, `dae-optimal`,
+    /// `dae-phases:<access_ghz>,<execute_ghz>`,
+    /// `governed[:heuristic|bandit[:<seed>]]`.
+    pub fn parse(spec: &str, table: &DvfsTable) -> Result<FreqPolicy, String> {
+        let ghz = |s: &str| -> Result<FreqId, String> {
+            s.parse::<f64>().map(|g| table.nearest(g)).map_err(|e| format!("bad GHz `{s}`: {e}"))
+        };
+        match spec {
+            "coupled-max" => Ok(FreqPolicy::CoupledMax),
+            "coupled-optimal" => Ok(FreqPolicy::CoupledOptimal),
+            "dae-minmax" => Ok(FreqPolicy::DaeMinMax),
+            "dae-optimal" => Ok(FreqPolicy::DaeOptimal),
+            "governed" => Ok(FreqPolicy::Governed(GovernorKind::Heuristic)),
+            other => {
+                if let Some(f) = other.strip_prefix("coupled-fixed:") {
+                    Ok(FreqPolicy::CoupledFixed(ghz(f)?))
+                } else if let Some(fs) = other.strip_prefix("dae-phases:") {
+                    let (a, e) = fs.split_once(',').ok_or_else(|| {
+                        format!("dae-phases needs <access>,<execute>, got `{fs}`")
+                    })?;
+                    Ok(FreqPolicy::DaePhases { access: ghz(a)?, execute: ghz(e)? })
+                } else if let Some(g) = other.strip_prefix("governed:") {
+                    Ok(FreqPolicy::Governed(GovernorKind::parse(g)?))
+                } else {
+                    Err(format!("unknown policy `{other}` (try `--policy help`)"))
+                }
+            }
+        }
+    }
+
+    /// Canonical spec string; `FreqPolicy::parse(&p.label(t), t)`
+    /// round-trips for every variant.
+    pub fn label(self, table: &DvfsTable) -> String {
+        match self {
+            FreqPolicy::CoupledMax => "coupled-max".to_string(),
+            FreqPolicy::CoupledFixed(f) => format!("coupled-fixed:{}", table.point(f).ghz),
+            FreqPolicy::CoupledOptimal => "coupled-optimal".to_string(),
+            FreqPolicy::DaeMinMax => "dae-minmax".to_string(),
+            FreqPolicy::DaeOptimal => "dae-optimal".to_string(),
+            FreqPolicy::DaePhases { access, execute } => {
+                format!("dae-phases:{},{}", table.point(access).ghz, table.point(execute).ghz)
+            }
+            FreqPolicy::Governed(kind) => format!("governed:{}", kind.label()),
+        }
+    }
+
+    /// The `--policy help` listing: one line per accepted spec.
+    pub fn help() -> &'static str {
+        "policies (for --policy):\n\
+         \x20 coupled-max                     coupled execution, everything at fmax (baseline)\n\
+         \x20 coupled-fixed:<ghz>             coupled execution at a fixed frequency\n\
+         \x20 coupled-optimal                 coupled, per-task exhaustive optimal-EDP frequency\n\
+         \x20 dae-minmax                      DAE: access at fmin, execute at fmax\n\
+         \x20 dae-optimal                     DAE: per-phase exhaustive optimal-EDP (oracle)\n\
+         \x20 dae-phases:<a_ghz>,<e_ghz>      DAE with explicit per-phase frequencies\n\
+         \x20 governed[:heuristic]            DAE with the online miss-ratio heuristic governor\n\
+         \x20 governed:bandit[:<seed>]        DAE with the online EDP bandit governor\n\
+         frequencies snap to the nearest DVFS table point"
     }
 }
 
@@ -110,6 +182,56 @@ mod tests {
         assert!(!FreqPolicy::CoupledOptimal.is_decoupled());
         let t = DvfsTable::sandybridge();
         assert!(FreqPolicy::DaePhases { access: t.min(), execute: t.max() }.is_decoupled());
+        assert!(FreqPolicy::Governed(GovernorKind::Heuristic).is_decoupled());
+    }
+
+    #[test]
+    fn every_policy_round_trips_through_parse() {
+        let t = DvfsTable::sandybridge();
+        let policies = [
+            FreqPolicy::CoupledMax,
+            FreqPolicy::CoupledFixed(FreqId(2)),
+            FreqPolicy::CoupledOptimal,
+            FreqPolicy::DaeMinMax,
+            FreqPolicy::DaeOptimal,
+            FreqPolicy::DaePhases { access: t.min(), execute: t.max() },
+            FreqPolicy::Governed(GovernorKind::Heuristic),
+            FreqPolicy::Governed(GovernorKind::Bandit { seed: 7 }),
+        ];
+        for p in policies {
+            let spec = p.label(&t);
+            assert_eq!(FreqPolicy::parse(&spec, &t), Ok(p), "round-trip of `{spec}`");
+        }
+    }
+
+    #[test]
+    fn parse_snaps_and_rejects() {
+        let t = DvfsTable::sandybridge();
+        // 2.1 GHz snaps to the nearest table point (2.0).
+        assert_eq!(
+            FreqPolicy::parse("coupled-fixed:2.1", &t),
+            Ok(FreqPolicy::CoupledFixed(t.nearest(2.1)))
+        );
+        assert_eq!(
+            FreqPolicy::parse("dae-phases:1.6,3.4", &t),
+            Ok(FreqPolicy::DaePhases { access: t.min(), execute: t.max() })
+        );
+        assert_eq!(
+            FreqPolicy::parse("governed", &t),
+            Ok(FreqPolicy::Governed(GovernorKind::Heuristic))
+        );
+        assert_eq!(
+            FreqPolicy::parse("governed:bandit:9", &t),
+            Ok(FreqPolicy::Governed(GovernorKind::Bandit { seed: 9 }))
+        );
+        assert!(FreqPolicy::parse("warp-speed", &t).is_err());
+        assert!(FreqPolicy::parse("dae-phases:1.6", &t).is_err());
+        assert!(FreqPolicy::parse("coupled-fixed:fast", &t).is_err());
+        assert!(FreqPolicy::parse("governed:oracle", &t).is_err());
+        // The help text mentions every accepted form.
+        for form in ["coupled-max", "coupled-fixed", "dae-minmax", "dae-optimal", "governed"] {
+            assert!(FreqPolicy::help().contains(form), "help must list {form}");
+        }
     }
 
     #[test]

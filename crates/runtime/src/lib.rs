@@ -13,6 +13,12 @@
 //! [`run_workload_traced`]; [`run_workload`] is the zero-cost
 //! [`dae_trace::NullSink`] shorthand.
 //!
+//! Frequencies can also be chosen **online**: [`FreqPolicy::Governed`]
+//! routes every task through a `dae-governor` policy (miss-ratio heuristic
+//! or EDP bandit) that learns per-task-class operating points from the
+//! feedback the scheduler already produces, and [`run_workload_governed`]
+//! lets a caller keep the learned state across runs.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -37,5 +43,6 @@ pub mod report;
 pub mod sched;
 
 pub use config::{FreqPolicy, RuntimeConfig};
-pub use report::{Breakdown, RunReport};
-pub use sched::{run_workload, run_workload_traced, TaskInstance};
+pub use dae_governor::GovernorKind;
+pub use report::{Breakdown, ClassReport, GovernorReport, RunReport};
+pub use sched::{run_workload, run_workload_governed, run_workload_traced, TaskInstance};

@@ -39,6 +39,64 @@ impl Breakdown {
     }
 }
 
+/// What an online governor learned about one task class during a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassReport {
+    /// Class label: `<function name>#<signature hex>`.
+    pub class: String,
+    /// Completed-task observations of the class.
+    pub observations: u64,
+    /// Decisions that were exploratory.
+    pub explored: u64,
+    /// True once the class's decisions stabilised.
+    pub converged: bool,
+    /// True when the safety guard pinned the class to min/max.
+    pub guarded: bool,
+    /// The class's current access-phase frequency, in GHz.
+    pub access_ghz: f64,
+    /// The class's current execute-phase frequency, in GHz.
+    pub execute_ghz: f64,
+    /// Running mean of the class's per-task EDP.
+    pub mean_task_edp: f64,
+}
+
+impl ClassReport {
+    /// Machine-readable form, one key per field.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("class", self.class.as_str().into()),
+            ("observations", self.observations.into()),
+            ("explored", self.explored.into()),
+            ("converged", self.converged.into()),
+            ("guarded", self.guarded.into()),
+            ("access_ghz", self.access_ghz.into()),
+            ("execute_ghz", self.execute_ghz.into()),
+            ("mean_task_edp", self.mean_task_edp.into()),
+        ])
+    }
+}
+
+/// End-of-run snapshot of an online governor: which frequencies each task
+/// class converged to. Present in a [`RunReport`] only for governed runs,
+/// so traces and bench JSON are self-describing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GovernorReport {
+    /// Name of the governor ("static", "heuristic", "bandit").
+    pub governor: String,
+    /// Per-class outcomes, in deterministic class order.
+    pub classes: Vec<ClassReport>,
+}
+
+impl GovernorReport {
+    /// Machine-readable form: the governor name plus one entry per class.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("governor", self.governor.as_str().into()),
+            ("classes", JsonValue::Arr(self.classes.iter().map(ClassReport::to_json).collect())),
+        ])
+    }
+}
+
 /// The result of one workload run under one configuration.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -54,6 +112,8 @@ pub struct RunReport {
     pub access_trace: PhaseTrace,
     /// Merged trace of all execute phases.
     pub execute_trace: PhaseTrace,
+    /// The online governor's learned per-class state (governed runs only).
+    pub governor: Option<GovernorReport>,
 }
 
 impl RunReport {
@@ -85,7 +145,7 @@ impl RunReport {
     /// Machine-readable form: headline metrics, the breakdown, the Table 1
     /// derivatives and both merged phase traces.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut v = JsonValue::obj([
             ("time_s", self.time_s.into()),
             ("energy_j", self.energy_j.into()),
             ("edp", self.edp().into()),
@@ -95,7 +155,11 @@ impl RunReport {
             ("breakdown", self.breakdown.to_json()),
             ("access_trace", self.access_trace.to_json()),
             ("execute_trace", self.execute_trace.to_json()),
-        ])
+        ]);
+        if let (JsonValue::Obj(pairs), Some(g)) = (&mut v, &self.governor) {
+            pairs.push(("governor".to_string(), g.to_json()));
+        }
+        v
     }
 
     /// [`RunReport::to_json`] rendered as a compact string.
@@ -116,6 +180,7 @@ mod tests {
             breakdown: Breakdown { access_s: 0.4, execute_s: 1.6, overhead_s: 0.1, idle_s: 0.3 },
             access_trace: PhaseTrace::default(),
             execute_trace: PhaseTrace::default(),
+            governor: None,
         }
     }
 
@@ -147,6 +212,34 @@ mod tests {
         assert_eq!(b.get("execute_s").unwrap().as_f64(), Some(1.6));
         assert!((b.get("osi_s").unwrap().as_f64().unwrap() - 0.4).abs() < 1e-12);
         assert_eq!(v.get("execute_trace").unwrap().get("instrs").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn governor_section_appears_only_when_present() {
+        let mut r = report();
+        let text = r.to_json_string();
+        assert!(dae_trace::json::parse(&text).unwrap().get("governor").is_none());
+        r.governor = Some(GovernorReport {
+            governor: "bandit".to_string(),
+            classes: vec![ClassReport {
+                class: "stream#00aa".to_string(),
+                observations: 12,
+                explored: 6,
+                converged: true,
+                guarded: false,
+                access_ghz: 1.6,
+                execute_ghz: 3.4,
+                mean_task_edp: 1.5e-9,
+            }],
+        });
+        let v = dae_trace::json::parse(&r.to_json_string()).unwrap();
+        let g = v.get("governor").expect("governor section");
+        assert_eq!(g.get("governor").unwrap().as_str(), Some("bandit"));
+        let classes = g.get("classes").unwrap().as_arr().unwrap();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].get("class").unwrap().as_str(), Some("stream#00aa"));
+        assert_eq!(classes[0].get("execute_ghz").unwrap().as_f64(), Some(3.4));
+        assert_eq!(classes[0].get("converged").unwrap().as_bool(), Some(true));
     }
 
     #[test]

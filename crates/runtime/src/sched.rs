@@ -10,10 +10,11 @@
 //! profiled execution) is exact rather than sampled.
 
 use crate::config::{FreqPolicy, RuntimeConfig};
-use crate::report::{Breakdown, RunReport};
+use crate::report::{Breakdown, ClassReport, GovernorReport, RunReport};
+use dae_governor::{Governor, PhaseObs, TaskClass, TaskObs};
 use dae_ir::{FuncId, Module};
 use dae_mem::{CoreCaches, SharedLlc};
-use dae_power::{phase_energy_split_j, select_optimal_edp, FreqId, FreqPoint};
+use dae_power::{phase_energy_split_j, select_optimal_edp, DvfsTable, FreqId, FreqPoint};
 use dae_sim::{CachePort, InterpError, Machine, PhaseTrace, Val};
 use dae_trace::{NullSink, PhaseKind, TraceEvent, TraceSink};
 use std::collections::VecDeque;
@@ -97,6 +98,67 @@ pub fn run_workload_traced(
     cfg: &RuntimeConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<RunReport, InterpError> {
+    match cfg.policy {
+        FreqPolicy::Governed(kind) => {
+            let mut gov = kind.build(&cfg.table);
+            run_scheduler(module, tasks, cfg, Some(gov.as_mut()), sink)
+        }
+        _ => run_scheduler(module, tasks, cfg, None, sink),
+    }
+}
+
+/// Runs `tasks` under an externally-owned [`Governor`], streaming trace
+/// events into `sink`.
+///
+/// Unlike [`run_workload_traced`] with [`FreqPolicy::Governed`] — which
+/// builds fresh governor state per run — the caller keeps `gov` and can
+/// carry its learned per-class decisions across runs (warm start), which
+/// is how the regret bench measures convergence. The governor overrides
+/// `cfg.policy` for every task; tasks with an access phase always run
+/// decoupled.
+///
+/// # Errors
+///
+/// Propagates interpreter traps ([`InterpError`]).
+pub fn run_workload_governed(
+    module: &Module,
+    tasks: &[TaskInstance],
+    cfg: &RuntimeConfig,
+    gov: &mut dyn Governor,
+    sink: &mut dyn TraceSink,
+) -> Result<RunReport, InterpError> {
+    run_scheduler(module, tasks, cfg, Some(gov), sink)
+}
+
+/// End-of-run snapshot of the governor, with class labels resolved
+/// against the module's function names.
+fn governor_report(gov: &dyn Governor, module: &Module, table: &DvfsTable) -> GovernorReport {
+    GovernorReport {
+        governor: gov.name().to_string(),
+        classes: gov
+            .snapshot()
+            .iter()
+            .map(|s| ClassReport {
+                class: format!("{}#{}", module.func(s.class.func).name, s.class.sig_hex()),
+                observations: s.observations,
+                explored: s.explored,
+                converged: s.converged,
+                guarded: s.guarded,
+                access_ghz: table.point(s.access).ghz,
+                execute_ghz: table.point(s.execute).ghz,
+                mean_task_edp: s.mean_task_edp,
+            })
+            .collect(),
+    }
+}
+
+fn run_scheduler(
+    module: &Module,
+    tasks: &[TaskInstance],
+    cfg: &RuntimeConfig,
+    mut gov: Option<&mut dyn Governor>,
+    sink: &mut dyn TraceSink,
+) -> Result<RunReport, InterpError> {
     let mut machine = Machine::new(module);
     let mut llc = SharedLlc::new(cfg.hierarchy.llc);
     let mut cores: Vec<CoreState> = (0..cfg.cores)
@@ -160,6 +222,7 @@ pub fn run_workload_traced(
                 &mut breakdown,
                 &mut access_trace,
                 &mut execute_trace,
+                gov.as_deref_mut(),
                 sink,
                 c as u32,
             )?;
@@ -191,11 +254,20 @@ pub fn run_workload_traced(
     let busy_total: f64 = cores.iter().map(|c| c.busy_s).sum();
     breakdown.idle_s = (time_s * cfg.cores as f64 - busy_total).max(0.0);
 
-    Ok(RunReport { time_s, energy_j, tasks: tasks.len(), breakdown, access_trace, execute_trace })
+    let governor = gov.map(|g| governor_report(g, module, &cfg.table));
+    Ok(RunReport {
+        time_s,
+        energy_j,
+        tasks: tasks.len(),
+        breakdown,
+        access_trace,
+        execute_trace,
+        governor,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_task(
+fn run_task<'g>(
     machine: &mut Machine<'_>,
     llc: &mut SharedLlc,
     core: &mut CoreState,
@@ -206,6 +278,7 @@ fn run_task(
     breakdown: &mut Breakdown,
     access_trace: &mut PhaseTrace,
     execute_trace: &mut PhaseTrace,
+    mut gov: Option<&mut (dyn Governor + 'g)>,
     sink: &mut dyn TraceSink,
     core_id: u32,
 ) -> Result<(), InterpError> {
@@ -227,8 +300,31 @@ fn run_task(
         });
     }
 
-    let decoupled = cfg.policy.is_decoupled() && task.access.is_some();
+    // Governor decision, made up front from the task class alone — an
+    // online governor cannot look at the phase it is about to run. The
+    // frequencies it picks are applied below exactly where the static
+    // policies would pick theirs.
+    let decision = gov.as_deref_mut().map(|g| {
+        let class = TaskClass::of(task.func, &task.args);
+        let d = g.decide(class);
+        if sink.is_enabled() {
+            sink.record(TraceEvent::GovernorDecision {
+                core: core_id,
+                task: task_idx,
+                class: format!("{}#{}", machine.module().func(task.func).name, class.sig_hex()),
+                start_s: core.clock_s,
+                access_ghz: cfg.table.point(d.access).ghz,
+                execute_ghz: cfg.table.point(d.execute).ghz,
+                explore: d.explore,
+                guarded: d.guarded,
+            });
+        }
+        (class, d)
+    });
 
+    let decoupled = (decision.is_some() || cfg.policy.is_decoupled()) && task.access.is_some();
+
+    let mut a_obs = None;
     if decoupled {
         let access = task.access.expect("checked");
         let mut a_trace = PhaseTrace::default();
@@ -238,16 +334,20 @@ fn run_task(
             &mut CachePort { core: &mut core.caches, llc },
             &mut a_trace,
         )?;
-        let a_freq = match cfg.policy {
-            FreqPolicy::DaeMinMax => cfg.table.min(),
-            FreqPolicy::DaePhases { access, .. } => access,
-            FreqPolicy::DaeOptimal => select_optimal_edp(&cfg.table, &cfg.power, 1, |id| {
-                let f = cfg.table.point(id).hz();
-                (a_trace.time_s(f, &cfg.timing), a_trace.ipc(f, &cfg.timing))
-            }),
-            _ => unreachable!("coupled policy in decoupled path"),
+        let a_freq = match &decision {
+            Some((_, d)) => d.access,
+            None => match cfg.policy {
+                FreqPolicy::DaeMinMax => cfg.table.min(),
+                FreqPolicy::DaePhases { access, .. } => access,
+                FreqPolicy::DaeOptimal => select_optimal_edp(&cfg.table, &cfg.power, 1, |id| {
+                    let f = cfg.table.point(id).hz();
+                    (a_trace.time_s(f, &cfg.timing), a_trace.ipc(f, &cfg.timing))
+                }),
+                _ => unreachable!("coupled policy in decoupled path"),
+            },
         };
-        charge_phase(
+        let a_switched = core.freq != a_freq;
+        let (a_time, a_ipc) = charge_phase(
             core,
             cfg,
             &a_trace,
@@ -263,6 +363,9 @@ fn run_task(
                 machine: &*machine,
             },
         );
+        if decision.is_some() {
+            a_obs = Some(phase_obs(cfg, &a_trace, a_freq, a_time, a_ipc, a_switched));
+        }
         access_trace.merge(&a_trace);
     }
 
@@ -274,21 +377,26 @@ fn run_task(
         &mut CachePort { core: &mut core.caches, llc },
         &mut e_trace,
     )?;
-    let e_freq = match cfg.policy {
-        FreqPolicy::CoupledMax => cfg.table.max(),
-        FreqPolicy::CoupledFixed(f) => f,
-        FreqPolicy::CoupledOptimal => select_optimal_edp(&cfg.table, &cfg.power, 1, |id| {
-            let f = cfg.table.point(id).hz();
-            (e_trace.time_s(f, &cfg.timing), e_trace.ipc(f, &cfg.timing))
-        }),
-        FreqPolicy::DaeMinMax => cfg.table.max(),
-        FreqPolicy::DaePhases { execute, .. } => execute,
-        FreqPolicy::DaeOptimal => select_optimal_edp(&cfg.table, &cfg.power, 1, |id| {
-            let f = cfg.table.point(id).hz();
-            (e_trace.time_s(f, &cfg.timing), e_trace.ipc(f, &cfg.timing))
-        }),
+    let e_freq = match &decision {
+        Some((_, d)) => d.execute,
+        None => match cfg.policy {
+            FreqPolicy::CoupledMax => cfg.table.max(),
+            FreqPolicy::CoupledFixed(f) => f,
+            FreqPolicy::CoupledOptimal => select_optimal_edp(&cfg.table, &cfg.power, 1, |id| {
+                let f = cfg.table.point(id).hz();
+                (e_trace.time_s(f, &cfg.timing), e_trace.ipc(f, &cfg.timing))
+            }),
+            FreqPolicy::DaeMinMax => cfg.table.max(),
+            FreqPolicy::DaePhases { execute, .. } => execute,
+            FreqPolicy::DaeOptimal => select_optimal_edp(&cfg.table, &cfg.power, 1, |id| {
+                let f = cfg.table.point(id).hz();
+                (e_trace.time_s(f, &cfg.timing), e_trace.ipc(f, &cfg.timing))
+            }),
+            FreqPolicy::Governed(_) => unreachable!("governed policy without governor state"),
+        },
     };
-    charge_phase(
+    let e_switched = core.freq != e_freq;
+    let (e_time, e_ipc) = charge_phase(
         core,
         cfg,
         &e_trace,
@@ -298,8 +406,50 @@ fn run_task(
         false,
         &mut PhaseEmit { sink: &mut *sink, core_id, task_idx, func: task.func, machine: &*machine },
     );
+    if let (Some(g), Some((class, _))) = (gov, &decision) {
+        let obs = TaskObs {
+            access: a_obs,
+            execute: phase_obs(cfg, &e_trace, e_freq, e_time, e_ipc, e_switched),
+        };
+        g.observe(*class, &obs);
+    }
     execute_trace.merge(&e_trace);
     Ok(())
+}
+
+/// Condenses one charged phase into governor feedback. Time and energy are
+/// evaluated at the frequency the phase ran at — energy with the *full*
+/// power model (`total_power_w`), the same objective [`select_optimal_edp`]
+/// minimises — **plus** the DVFS transition this phase triggered
+/// (`switched`), exactly as [`charge_phase`] billed it. The oracle is
+/// blind to transitions; including them here is what lets an online
+/// governor learn that, for short tasks, keeping both phases at one
+/// operating point beats per-phase switching. Boundedness is measured at
+/// fmax so the classification does not drift with whatever frequency was
+/// chosen.
+fn phase_obs(
+    cfg: &RuntimeConfig,
+    trace: &PhaseTrace,
+    freq: FreqId,
+    time_s: f64,
+    ipc: f64,
+    switched: bool,
+) -> PhaseObs {
+    let point = cfg.table.point(freq);
+    let fmax_hz = cfg.table.point(cfg.table.max()).hz();
+    let (tr_s, tr_j) = if switched {
+        let t = cfg.dvfs.transition_s;
+        (t, core_static_w(cfg, point) * t)
+    } else {
+        (0.0, 0.0)
+    };
+    PhaseObs {
+        time_s: time_s + tr_s,
+        energy_j: cfg.power.total_power_w(point, ipc, 1) * time_s + tr_j,
+        ipc,
+        mem_bound_frac: trace.memory_bound_fraction(fmax_hz, &cfg.timing),
+        miss_ratio: trace.miss_ratio(),
+    }
 }
 
 /// Everything [`charge_phase`] needs to describe the phase it is charging
@@ -313,7 +463,8 @@ struct PhaseEmit<'a, 'm> {
 }
 
 /// Applies DVFS transition cost (static energy only, §6.1), then charges the
-/// phase's time and energy at the chosen operating point.
+/// phase's time and energy at the chosen operating point. Returns the
+/// phase's `(time_s, ipc)` at that point, for governor feedback.
 #[allow(clippy::too_many_arguments)]
 fn charge_phase(
     core: &mut CoreState,
@@ -324,7 +475,7 @@ fn charge_phase(
     breakdown: &mut Breakdown,
     is_access: bool,
     emit: &mut PhaseEmit<'_, '_>,
-) {
+) -> (f64, f64) {
     let point = cfg.table.point(freq);
     if core.freq != freq {
         let t_tr = cfg.dvfs.transition_s;
@@ -374,6 +525,7 @@ fn charge_phase(
             counters: trace.counters(),
         });
     }
+    (time, ipc)
 }
 
 #[cfg(test)]
@@ -654,6 +806,64 @@ mod tests {
         assert!(close(s.access_s, r.breakdown.access_s));
         assert!(close(s.idle_s, r.breakdown.idle_s));
         assert_eq!(s.execute_counters.instrs, r.execute_trace.instrs);
+    }
+
+    #[test]
+    fn governed_run_reports_learned_classes() {
+        let (m, exec, access) = stream_module(16384, 512);
+        let tasks = tasks_for(exec, access, 16384, 512);
+        let cfg = RuntimeConfig::paper_default()
+            .with_policy(FreqPolicy::Governed(dae_governor::GovernorKind::Bandit { seed: 1 }));
+        let r = run_workload(&m, &tasks, &cfg).unwrap();
+        assert!(r.access_trace.prefetches > 0, "governed tasks run decoupled");
+        let g = r.governor.expect("governed run must carry a governor report");
+        assert_eq!(g.governor, "bandit");
+        assert!(!g.classes.is_empty());
+        let total: u64 = g.classes.iter().map(|c| c.observations).sum();
+        assert_eq!(total, 32, "every completed task is observed exactly once");
+        assert!(g.classes.iter().all(|c| c.class.contains('#')));
+        // Non-governed runs carry no governor section.
+        let plain = run_workload(&m, &tasks, &RuntimeConfig::paper_default()).unwrap();
+        assert!(plain.governor.is_none());
+    }
+
+    #[test]
+    fn governed_decisions_are_traced() {
+        let (m, exec, access) = stream_module(8192, 512);
+        let tasks = tasks_for(exec, access, 8192, 512);
+        let cfg = RuntimeConfig::paper_default()
+            .with_policy(FreqPolicy::Governed(dae_governor::GovernorKind::Heuristic));
+        let mut rec = dae_trace::Recorder::new(cfg.cores);
+        let r = run_workload_traced(&m, &tasks, &cfg, &mut rec).unwrap();
+        let decisions: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::GovernorDecision { .. }))
+            .collect();
+        assert_eq!(decisions.len(), tasks.len(), "one decision per task");
+        // Decisions are instantaneous: span totals still reconcile.
+        let span_s: f64 = rec.events().iter().map(|e| e.dur_s()).sum();
+        let busy = r.breakdown.access_s + r.breakdown.execute_s + r.breakdown.overhead_s;
+        assert!((span_s - busy - r.breakdown.idle_s).abs() < 1e-9);
+        // And the traced run matches the untraced one bit for bit.
+        let plain = run_workload(&m, &tasks, &cfg).unwrap();
+        assert_eq!(plain.time_s.to_bits(), r.time_s.to_bits());
+        assert_eq!(plain.energy_j.to_bits(), r.energy_j.to_bits());
+    }
+
+    #[test]
+    fn external_governor_state_carries_across_runs() {
+        let (m, exec, access) = stream_module(8192, 512);
+        let tasks = tasks_for(exec, access, 8192, 512);
+        let cfg = RuntimeConfig::paper_default();
+        let mut gov = dae_governor::GovernorKind::Bandit { seed: 3 }.build(&cfg.table);
+        let mut obs = Vec::new();
+        for _ in 0..3 {
+            let r = run_workload_governed(&m, &tasks, &cfg, gov.as_mut(), &mut NullSink).unwrap();
+            let g = r.governor.unwrap();
+            obs.push(g.classes.iter().map(|c| c.observations).sum::<u64>());
+        }
+        assert_eq!(obs, [16, 32, 48], "observations accumulate across runs");
     }
 
     #[test]

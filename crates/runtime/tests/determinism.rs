@@ -1,0 +1,131 @@
+//! Bit-level determinism of the scheduler across the whole policy matrix.
+//!
+//! A property test in the randomised-but-reproducible style: a seeded
+//! [`SplitMix64`] generates workload shapes (task counts, chunk sizes,
+//! coupled/decoupled mixes, core counts), and every generated case must
+//! produce **bit-identical** [`RunReport`]s when run twice — including the
+//! online-governed policies, whose exploration is driven by its own fixed
+//! seed. This is the invariant that makes `BENCH_*.json` files and traces
+//! diffable across machines.
+
+use dae_governor::{GovernorKind, SplitMix64};
+use dae_ir::{FuncId, FunctionBuilder, Module, Type, Value};
+use dae_power::FreqId;
+use dae_runtime::{run_workload, FreqPolicy, RunReport, RuntimeConfig, TaskInstance};
+use dae_sim::Val;
+
+/// One streaming task (with a hand-built access phase) over `a[0..1<<17]`.
+fn stream_module(chunk: i64) -> (Module, FuncId, FuncId) {
+    let mut m = Module::new();
+    let a = m.add_global("a", Type::F64, 1 << 17);
+
+    let mut b = FunctionBuilder::new("stream", vec![Type::I64], Type::Void);
+    b.set_task();
+    b.counted_loop(Value::i64(0), Value::i64(chunk), Value::i64(1), |b, i| {
+        let idx = b.iadd(Value::Arg(0), i);
+        let p = b.elem_addr(Value::Global(a), idx, Type::F64);
+        let v = b.load(Type::F64, p);
+        let w = b.fadd(v, 1.5f64);
+        b.store(p, w);
+    });
+    b.ret(None);
+    let exec = m.add_function(b.finish());
+
+    let mut b = FunctionBuilder::new("stream__access", vec![Type::I64], Type::Void);
+    b.counted_loop(Value::i64(0), Value::i64(chunk), Value::i64(8), |b, i| {
+        let idx = b.iadd(Value::Arg(0), i);
+        let p = b.elem_addr(Value::Global(a), idx, Type::F64);
+        b.prefetch(p);
+    });
+    b.ret(None);
+    let access = m.add_function(b.finish());
+    (m, exec, access)
+}
+
+/// Every field of the two reports, compared at the bit level.
+fn assert_bit_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.time_s.to_bits(), b.time_s.to_bits(), "{what}: time_s");
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{what}: energy_j");
+    assert_eq!(a.tasks, b.tasks, "{what}: tasks");
+    for (k, x, y) in [
+        ("access_s", a.breakdown.access_s, b.breakdown.access_s),
+        ("execute_s", a.breakdown.execute_s, b.breakdown.execute_s),
+        ("overhead_s", a.breakdown.overhead_s, b.breakdown.overhead_s),
+        ("idle_s", a.breakdown.idle_s, b.breakdown.idle_s),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: breakdown.{k}");
+    }
+    assert_eq!(a.access_trace, b.access_trace, "{what}: access_trace");
+    assert_eq!(a.execute_trace, b.execute_trace, "{what}: execute_trace");
+    // The serialised form covers the governor section (and every derived
+    // metric) in one comparison.
+    assert_eq!(a.to_json_string(), b.to_json_string(), "{what}: json");
+}
+
+fn policies(seed: u64) -> Vec<FreqPolicy> {
+    vec![
+        FreqPolicy::CoupledMax,
+        FreqPolicy::CoupledOptimal,
+        FreqPolicy::DaeMinMax,
+        FreqPolicy::DaeOptimal,
+        FreqPolicy::DaePhases { access: FreqId(0), execute: FreqId(3) },
+        FreqPolicy::Governed(GovernorKind::Heuristic),
+        FreqPolicy::Governed(GovernorKind::Bandit { seed }),
+    ]
+}
+
+#[test]
+fn same_inputs_give_bit_identical_reports_across_the_policy_matrix() {
+    let mut rng = SplitMix64::new(0x5eed_0001);
+    for case in 0..8 {
+        // Random workload shape, reproducible from the seed above.
+        let chunk = 256 << rng.next_below(3); // 256, 512 or 1024
+        let n_tasks = 8 + rng.next_below(25) as usize; // 8..=32
+        let coupled_every = 2 + rng.next_below(3); // every 2nd..4th coupled
+        let cores = 1 + rng.next_below(4) as usize; // 1..=4
+        let gov_seed = rng.next_u64();
+
+        let (m, exec, access) = stream_module(chunk);
+        let tasks: Vec<TaskInstance> = (0..n_tasks)
+            .map(|k| {
+                let arg = vec![Val::I(k as i64 * chunk)];
+                if (k as u64).is_multiple_of(coupled_every) {
+                    TaskInstance::coupled(exec, arg)
+                } else {
+                    TaskInstance::decoupled(exec, access, arg)
+                }
+            })
+            .collect();
+
+        let mut base = RuntimeConfig::paper_default();
+        base.cores = cores;
+        for policy in policies(gov_seed) {
+            let cfg = base.clone().with_policy(policy);
+            let r1 = run_workload(&m, &tasks, &cfg).unwrap();
+            let r2 = run_workload(&m, &tasks, &cfg).unwrap();
+            let what = format!(
+                "case {case} (chunk {chunk}, {n_tasks} tasks, {cores} cores, {})",
+                policy.label(&cfg.table)
+            );
+            assert_bit_identical(&r1, &r2, &what);
+        }
+    }
+}
+
+#[test]
+fn bandit_seed_changes_exploration_but_stays_deterministic() {
+    let (m, exec, access) = stream_module(512);
+    let tasks: Vec<TaskInstance> =
+        (0..24).map(|k| TaskInstance::decoupled(exec, access, vec![Val::I(k * 512)])).collect();
+    let base = RuntimeConfig::paper_default();
+
+    let run = |seed: u64| {
+        let cfg = base.clone().with_policy(FreqPolicy::Governed(GovernorKind::Bandit { seed }));
+        run_workload(&m, &tasks, &cfg).unwrap()
+    };
+    // Same seed twice: identical. (The cross-seed results may or may not
+    // differ — exploration order is seed-dependent but the workload is
+    // small — so only the reproducibility direction is asserted.)
+    assert_bit_identical(&run(7), &run(7), "seed 7");
+    assert_bit_identical(&run(8), &run(8), "seed 8");
+}

@@ -125,6 +125,25 @@ fn span_event(ev: &TraceEvent) -> JsonValue {
             ]),
         ),
         TraceEvent::Idle { .. } => ("idle".to_string(), JsonValue::obj([])),
+        TraceEvent::GovernorDecision {
+            task,
+            class,
+            access_ghz,
+            execute_ghz,
+            explore,
+            guarded,
+            ..
+        } => (
+            format!("governor {access_ghz:.1}/{execute_ghz:.1} GHz"),
+            JsonValue::obj([
+                ("task", (*task).into()),
+                ("class", class.as_str().into()),
+                ("access_ghz", (*access_ghz).into()),
+                ("execute_ghz", (*execute_ghz).into()),
+                ("explore", (*explore).into()),
+                ("guarded", (*guarded).into()),
+            ]),
+        ),
     };
     JsonValue::obj([
         ("name", name.into()),

@@ -155,6 +155,26 @@ pub enum TraceEvent {
         /// Duration in seconds.
         dur_s: f64,
     },
+    /// An online governor's per-task frequency decision (instantaneous:
+    /// the decision itself costs no virtual time or energy).
+    GovernorDecision {
+        /// Simulated core index.
+        core: u32,
+        /// Index of the task instance the decision applies to.
+        task: u32,
+        /// Label of the task class the decision was cached under.
+        class: String,
+        /// Time of the decision in virtual seconds.
+        start_s: f64,
+        /// Chosen access-phase frequency, in GHz.
+        access_ghz: f64,
+        /// Chosen execute-phase frequency, in GHz.
+        execute_ghz: f64,
+        /// True when the decision was exploratory rather than greedy.
+        explore: bool,
+        /// True when the safety guard forced the min/max fallback.
+        guarded: bool,
+    },
 }
 
 impl TraceEvent {
@@ -164,7 +184,8 @@ impl TraceEvent {
             TraceEvent::Phase { core, .. }
             | TraceEvent::Overhead { core, .. }
             | TraceEvent::DvfsTransition { core, .. }
-            | TraceEvent::Idle { core, .. } => *core,
+            | TraceEvent::Idle { core, .. }
+            | TraceEvent::GovernorDecision { core, .. } => *core,
         }
     }
 
@@ -174,7 +195,8 @@ impl TraceEvent {
             TraceEvent::Phase { start_s, .. }
             | TraceEvent::Overhead { start_s, .. }
             | TraceEvent::DvfsTransition { start_s, .. }
-            | TraceEvent::Idle { start_s, .. } => *start_s,
+            | TraceEvent::Idle { start_s, .. }
+            | TraceEvent::GovernorDecision { start_s, .. } => *start_s,
         }
     }
 
@@ -185,6 +207,7 @@ impl TraceEvent {
             | TraceEvent::Overhead { dur_s, .. }
             | TraceEvent::DvfsTransition { dur_s, .. }
             | TraceEvent::Idle { dur_s, .. } => *dur_s,
+            TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
@@ -203,7 +226,7 @@ impl TraceEvent {
             TraceEvent::Overhead { energy_j, .. } | TraceEvent::DvfsTransition { energy_j, .. } => {
                 *energy_j
             }
-            TraceEvent::Idle { .. } => 0.0,
+            TraceEvent::Idle { .. } | TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
@@ -215,6 +238,7 @@ impl TraceEvent {
             TraceEvent::Overhead { .. } => "overhead",
             TraceEvent::DvfsTransition { .. } => "dvfs",
             TraceEvent::Idle { .. } => "idle",
+            TraceEvent::GovernorDecision { .. } => "governor",
         }
     }
 }
@@ -248,15 +272,28 @@ mod tests {
                 energy_j: 0.2,
             },
             TraceEvent::Idle { core: 1, start_s: 1.5, dur_s: 0.5 },
+            TraceEvent::GovernorDecision {
+                core: 1,
+                task: 7,
+                class: "f#00aa".into(),
+                start_s: 2.0,
+                access_ghz: 1.6,
+                execute_ghz: 3.4,
+                explore: true,
+                guarded: false,
+            },
         ];
         let cats: Vec<&str> = events.iter().map(|e| e.category()).collect();
-        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle"]);
+        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle", "governor"]);
         for e in &events {
             assert_eq!(e.core(), 1);
             assert!((e.end_s() - e.start_s() - e.dur_s()).abs() < 1e-15);
         }
         assert_eq!(events[0].energy_j(), 3.0);
         assert_eq!(events[3].energy_j(), 0.0);
+        // Decisions are instantaneous and free.
+        assert_eq!(events[4].dur_s(), 0.0);
+        assert_eq!(events[4].energy_j(), 0.0);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub struct Summary {
     pub access_phases: usize,
     /// DVFS transitions recorded.
     pub dvfs_transitions: usize,
+    /// Governor decisions recorded (0 unless the run was governed).
+    pub governor_decisions: usize,
     /// Core-seconds spent in access phases.
     pub access_s: f64,
     /// Core-seconds spent in execute phases.
@@ -110,6 +112,9 @@ impl Summary {
                     s.idle_s += dur_s;
                     lane.1 += dur_s;
                 }
+                TraceEvent::GovernorDecision { .. } => {
+                    s.governor_decisions += 1;
+                }
             }
         }
         s
@@ -132,6 +137,7 @@ impl Summary {
             ("tasks", self.tasks.into()),
             ("access_phases", self.access_phases.into()),
             ("dvfs_transitions", self.dvfs_transitions.into()),
+            ("governor_decisions", self.governor_decisions.into()),
             (
                 "phase_s",
                 JsonValue::obj([

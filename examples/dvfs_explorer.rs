@@ -6,11 +6,19 @@
 //! drops one Chrome trace per explored pair under `target/repro/traces/`
 //! (open them in <https://ui.perfetto.dev> to compare schedules).
 //!
+//! The final section pits the **online governors** against the oracle: each
+//! governor warms up over repeated runs of the same workload and its
+//! measured run lands next to the `Manual DAE optimal-EDP` row, along with
+//! how many task classes it learned and how many converged.
+//!
 //! Run: `cargo run --release --example dvfs_explorer [lu|cholesky|fft|lbm|libq|cigar|cg]`
 
+use dae_governor::GovernorKind;
 use dae_power::{DvfsConfig, DvfsTable, FreqId};
-use dae_repro::trace::{chrome, json::JsonValue, Recorder};
-use dae_runtime::{run_workload, run_workload_traced, FreqPolicy, RuntimeConfig};
+use dae_repro::trace::{chrome, json::JsonValue, NullSink, Recorder};
+use dae_runtime::{
+    run_workload, run_workload_governed, run_workload_traced, FreqPolicy, RuntimeConfig,
+};
 use dae_workloads::{Variant, Workload};
 use std::path::PathBuf;
 
@@ -94,6 +102,38 @@ fn main() {
     run("Auto DAE min/max".into(), Variant::AutoDae, FreqPolicy::DaeMinMax);
     run("Auto DAE optimal-EDP".into(), Variant::AutoDae, FreqPolicy::DaeOptimal);
     run("Manual DAE optimal-EDP".into(), Variant::ManualDae, FreqPolicy::DaeOptimal);
+
+    // Governed vs oracle: the online governors start blind and learn the
+    // landscape the oracle above computed from the traces. Each is warmed
+    // over repeated runs of the same workload (one persistent governor
+    // instance), then the measured run is printed next to the oracle row.
+    println!();
+    let tasks = w.tasks(Variant::ManualDae);
+    for (label, kind, warmup) in [
+        ("Governed heuristic", GovernorKind::Heuristic, 3usize),
+        ("Governed bandit", GovernorKind::Bandit { seed: 0xace }, 40),
+    ] {
+        let cfg = cfg_for(FreqPolicy::Governed(kind));
+        let mut gov = kind.build(&cfg.table);
+        for _ in 0..warmup {
+            run_workload_governed(&w.module, &tasks, &cfg, gov.as_mut(), &mut NullSink)
+                .expect("run");
+        }
+        let r = run_workload_governed(&w.module, &tasks, &cfg, gov.as_mut(), &mut NullSink)
+            .expect("run");
+        print_row(label, &r);
+        if let Some(g) = &r.governor {
+            let converged = g.classes.iter().filter(|c| c.converged).count();
+            println!(
+                "{:<26} {} warm-ups; {} classes, {} converged, {} guarded",
+                "",
+                warmup,
+                g.classes.len(),
+                converged,
+                g.classes.iter().filter(|c| c.guarded).count()
+            );
+        }
+    }
 
     println!("\ntraces ({}, open in ui.perfetto.dev):", paths.len());
     for p in &paths {

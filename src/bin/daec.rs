@@ -4,18 +4,22 @@
 //! every `task fn`, and prints the transformed module (or a report).
 //!
 //! ```text
-//! daec <file.dae> [--report] [--run] [--hints a,b,c] [--no-polyhedral]
-//!      [--no-cfg-simplify] [--line-dedup] [--prefetch-writes]
-//!      [--trace-out <file> [--trace-format chrome|summary]]
+//! daec <file.dae> [--report] [--run] [--policy <spec>] [--hints a,b,c]
+//!      [--no-polyhedral] [--no-cfg-simplify] [--line-dedup]
+//!      [--prefetch-writes] [--trace-out <file> [--trace-format chrome|summary]]
 //! ```
 //!
 //! * `--report` — print per-task strategy/statistics instead of IR
 //! * `--run` — additionally execute every task (coupled vs decoupled) and
 //!   report time/energy/EDP under the paper's machine model
+//! * `--policy` — frequency policy for the decoupled runs (`--policy help`
+//!   lists every spec; default `dae-optimal`). `governed`,
+//!   `governed:heuristic` and `governed:bandit[:<seed>]` choose frequencies
+//!   online with the dae-governor
 //! * `--hints` — representative parameter values for profitability counts
 //!   (applied to every task)
-//! * `--trace-out` — run every task once (decoupled where possible, the
-//!   optimal-EDP policy) with event tracing on and write the trace to
+//! * `--trace-out` — run every task once (decoupled where possible, under
+//!   the selected `--policy`) with event tracing on and write the trace to
 //!   `<file>`
 //! * `--trace-format` — `chrome` (default; open in
 //!   <https://ui.perfetto.dev> or `chrome://tracing`) or `summary`
@@ -44,16 +48,19 @@ struct Args {
     run: bool,
     hints: Vec<i64>,
     opts: CompilerOptions,
+    policy: FreqPolicy,
     trace_out: Option<String>,
     trace_format: TraceFormat,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// `Ok(None)` means the invocation was fully handled (e.g. `--policy help`).
+fn parse_args() -> Result<Option<Args>, String> {
     let mut file = None;
     let mut report = false;
     let mut run = false;
     let mut hints = Vec::new();
     let mut opts = CompilerOptions::default();
+    let mut policy = FreqPolicy::DaeOptimal;
     let mut trace_out = None;
     let mut trace_format = TraceFormat::Chrome;
     let mut it = std::env::args().skip(1);
@@ -61,6 +68,14 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--report" => report = true,
             "--run" => run = true,
+            "--policy" => {
+                let spec = it.next().ok_or("--policy needs a value (try --policy help)")?;
+                if spec == "help" {
+                    println!("{}", FreqPolicy::help());
+                    return Ok(None);
+                }
+                policy = FreqPolicy::parse(&spec, &RuntimeConfig::paper_default().table)?;
+            }
             "--hints" => {
                 let v = it.next().ok_or("--hints needs a value")?;
                 hints = v
@@ -88,17 +103,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args {
+    Ok(Some(Args {
         file: file.ok_or(
-            "usage: daec <file.dae> [--report] [--run] [--hints a,b,c] [--trace-out <file>]",
+            "usage: daec <file.dae> [--report] [--run] [--policy <spec>] [--hints a,b,c] [--trace-out <file>]",
         )?,
         report,
         run,
         hints,
         opts,
+        policy,
         trace_out,
         trace_format,
-    })
+    }))
 }
 
 /// Argument vector for one task invocation: integer hints positionally,
@@ -125,7 +141,10 @@ fn main() -> ExitCode {
 }
 
 fn run_main() -> Result<(), String> {
-    let args = parse_args()?;
+    let args = match parse_args()? {
+        Some(args) => args,
+        None => return Ok(()),
+    };
     let text = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read {}: {e}", args.file))?;
     let mut module = parse_module(&text).map_err(|e| e.to_string())?;
@@ -184,21 +203,21 @@ fn run_main() -> Result<(), String> {
     if args.run {
         println!();
         let hints = &args.hints;
+        let base = RuntimeConfig::paper_default();
+        let plabel = args.policy.label(&base.table);
         for task in &tasks {
             let f = module.func(*task);
             let argv = argv_for(f, hints);
             let name = f.name.clone();
             let cae = vec![TaskInstance::coupled(*task, argv.clone())];
-            let base = RuntimeConfig::paper_default();
             let r1 = run_workload(&module, &cae, &base).map_err(|e| e.to_string())?;
             print!("{name:<20} CAE@fmax {:>9.3}us {:>9.3}uJ", r1.time_s * 1e6, r1.energy_j * 1e6);
             if let Some(access) = map.access(*task) {
                 let dae = vec![TaskInstance::decoupled(*task, access, argv)];
-                let r2 =
-                    run_workload(&module, &dae, &base.clone().with_policy(FreqPolicy::DaeOptimal))
-                        .map_err(|e| e.to_string())?;
+                let r2 = run_workload(&module, &dae, &base.clone().with_policy(args.policy))
+                    .map_err(|e| e.to_string())?;
                 println!(
-                    "   DAE opt-f {:>9.3}us {:>9.3}uJ   EDP {:+.1}%",
+                    "   DAE {plabel} {:>9.3}us {:>9.3}uJ   EDP {:+.1}%",
                     r2.time_s * 1e6,
                     r2.energy_j * 1e6,
                     (r2.edp() / r1.edp() - 1.0) * 100.0
@@ -212,7 +231,7 @@ fn run_main() -> Result<(), String> {
     if let Some(path) = &args.trace_out {
         // One traced run of the whole module: every task fn as one
         // instance, decoupled where an access phase was generated, under
-        // the paper's optimal-EDP policy.
+        // the selected frequency policy.
         let insts: Vec<TaskInstance> = tasks
             .iter()
             .map(|t| {
@@ -223,13 +242,13 @@ fn run_main() -> Result<(), String> {
                 }
             })
             .collect();
-        let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaeOptimal);
+        let cfg = RuntimeConfig::paper_default().with_policy(args.policy);
         let mut rec = Recorder::new(cfg.cores);
         let report =
             run_workload_traced(&module, &insts, &cfg, &mut rec).map_err(|e| e.to_string())?;
         let meta: Vec<(String, JsonValue)> = vec![
             ("source".to_string(), args.file.as_str().into()),
-            ("policy".to_string(), "dae-optimal".into()),
+            ("policy".to_string(), cfg.policy.label(&cfg.table).as_str().into()),
             ("report".to_string(), report.to_json()),
         ];
         let text = match args.trace_format {

@@ -20,6 +20,7 @@
 //! | [`power`] | the §3.2 DVFS power/energy/EDP model |
 //! | [`sim`] | IR interpreter + OoO interval timing model |
 //! | [`runtime`] | task runtime: work stealing + per-phase DVFS |
+//! | [`governor`] | online profiling-guided per-phase DVFS governor |
 //! | [`trace`] | event-level tracing: Perfetto/Chrome-trace + summary JSON |
 //! | [`workloads`] | the seven evaluation benchmarks |
 //!
@@ -56,6 +57,7 @@
 
 pub use dae_analysis as analysis;
 pub use dae_core as compiler;
+pub use dae_governor as governor;
 pub use dae_ir as ir;
 pub use dae_mem as mem;
 pub use dae_poly as poly;

@@ -40,8 +40,66 @@ fn run_mode_reports_dae_benefit() {
     let (ok, stdout, _) = daec(&[&example("stream.dae"), "--report", "--run"]);
     assert!(ok);
     assert!(stdout.contains("CAE@fmax"), "{stdout}");
-    assert!(stdout.contains("DAE opt-f"), "{stdout}");
+    assert!(stdout.contains("DAE dae-optimal"), "{stdout}");
     assert!(stdout.contains("EDP"), "{stdout}");
+}
+
+#[test]
+fn policy_help_lists_every_spec() {
+    let (ok, stdout, _) = daec(&["--policy", "help"]);
+    assert!(ok, "--policy help succeeds without a module file");
+    for spec in
+        ["coupled-max", "coupled-fixed", "coupled-optimal", "dae-minmax", "dae-optimal", "governed"]
+    {
+        assert!(stdout.contains(spec), "help misses `{spec}`: {stdout}");
+    }
+}
+
+#[test]
+fn run_mode_accepts_governed_policy() {
+    let (ok, stdout, stderr) =
+        daec(&[&example("stream.dae"), "--report", "--run", "--policy", "governed:bandit:7"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("DAE governed:bandit:7"), "{stdout}");
+    assert!(stdout.contains("EDP"), "{stdout}");
+}
+
+#[test]
+fn run_mode_snaps_coupled_fixed_to_the_table() {
+    let (ok, stdout, stderr) =
+        daec(&[&example("stream.dae"), "--run", "--policy", "coupled-fixed:2.3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("DAE coupled-fixed:2.4"), "2.3 GHz snaps to 2.4: {stdout}");
+}
+
+#[test]
+fn bad_policy_fails_cleanly() {
+    let (ok, _, stderr) = daec(&[&example("stream.dae"), "--run", "--policy", "warp-speed"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+}
+
+#[test]
+fn trace_out_records_the_selected_policy_and_governor() {
+    let dir = std::env::temp_dir().join("daec_cli_trace_governed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("g.json");
+    let (ok, _, stderr) = daec(&[
+        &example("stream.dae"),
+        "--trace-out",
+        out.to_str().unwrap(),
+        "--trace-format",
+        "summary",
+        "--policy",
+        "governed",
+    ]);
+    assert!(ok, "{stderr}");
+    let v = parse(&std::fs::read_to_string(&out).unwrap()).expect("valid JSON");
+    assert_eq!(v.get("policy").unwrap().as_str(), Some("governed:heuristic"));
+    assert!(v.get("governor_decisions").unwrap().as_f64().unwrap() > 0.0);
+    let gov = v.get("report").unwrap().get("governor").expect("governed report section");
+    assert_eq!(gov.get("governor").unwrap().as_str(), Some("heuristic"));
+    assert!(!gov.get("classes").unwrap().as_arr().unwrap().is_empty());
 }
 
 #[test]

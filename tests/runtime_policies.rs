@@ -2,7 +2,7 @@
 
 use dae_repro::ir::{FunctionBuilder, Module, Type, Value};
 use dae_repro::power::{DvfsConfig, DvfsTable, FreqId};
-use dae_repro::runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
+use dae_repro::runtime::{run_workload, FreqPolicy, GovernorKind, RuntimeConfig, TaskInstance};
 use dae_repro::sim::Val;
 
 /// A mixed workload: one streaming (memory-leaning) and one spinning
@@ -63,6 +63,8 @@ fn all_policies(table: &DvfsTable) -> Vec<(&'static str, FreqPolicy)> {
         ("dae-minmax", FreqPolicy::DaeMinMax),
         ("dae-opt", FreqPolicy::DaeOptimal),
         ("dae-phases", FreqPolicy::DaePhases { access: table.min(), execute: FreqId(2) }),
+        ("governed-heuristic", FreqPolicy::Governed(GovernorKind::Heuristic)),
+        ("governed-bandit", FreqPolicy::Governed(GovernorKind::Bandit { seed: 42 })),
     ]
 }
 
@@ -83,6 +85,7 @@ fn every_policy_completes_and_accounts_time() {
             r.time_s * base.cores as f64
         );
         assert!((busy + r.breakdown.idle_s - r.time_s * base.cores as f64).abs() < 1e-9, "{name}");
+        assert_eq!(r.governor.is_some(), matches!(policy, FreqPolicy::Governed(_)), "{name}");
     }
 }
 
