@@ -343,7 +343,7 @@ mod tests {
         });
         assert_eq!(stores, 1);
         let header_has_ptr_param =
-            out.block_ids().any(|bb| out.block(bb).params.iter().any(|t| *t == Type::Ptr));
+            out.block_ids().any(|bb| out.block(bb).params.contains(&Type::Ptr));
         assert!(header_has_ptr_param, "{}", dae_ir::print_function(&out, None));
     }
 

@@ -1,0 +1,303 @@
+//! Measures the **compilation pipeline driver** itself: per benchmark, the
+//! wall-clock cost of a cold single-job compile, a cold parallel compile
+//! and a warm compile answered from the on-disk incremental cache — the
+//! ISSUE 4 acceptance facts (warm ≫ cold, parallel cold ≤ serial cold).
+//!
+//! Every configuration must produce a byte-identical module; the bench
+//! asserts this, and asserts that the warm pass hits the cache on every
+//! benchmark (at least one hit, every task answered from cache).
+//!
+//! Writes `target/repro/BENCH_compile_<mode>.json` with the timings,
+//! speedups and cache statistics per benchmark.
+//!
+//! Run: `cargo bench -p dae-bench --bench compile`
+//! Smoke (CI): `DAE_BENCH_SMOKE=1 cargo bench -p dae-bench --bench compile`
+//! (or pass `--smoke`): reduced-size benchmarks, fewer repetitions.
+
+use dae_bench::{geomean, out_dir, print_table, Row};
+use dae_core::CompilerOptions;
+use dae_driver::{CompileOutcome, Driver, DriverConfig};
+use dae_ir::{print_module, FunctionBuilder, GlobalId, Module, Type, Value};
+use dae_trace::json::JsonValue;
+use dae_workloads::{all_benchmarks, all_benchmarks_small, Workload};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Builds a fresh copy of benchmark `i` (the driver mutates the module, so
+/// every measured compile starts from pristine IR).
+fn fresh(i: usize, smoke: bool) -> Workload {
+    let mut v = if smoke { all_benchmarks_small() } else { all_benchmarks() };
+    v.remove(i)
+}
+
+/// One driver compile of `w` with `jobs` workers against `dir`, timed.
+fn compile_once(w: &mut Workload, jobs: usize, dir: &Path) -> (f64, CompileOutcome) {
+    let opts = w.auto_options_fn();
+    let mut drv = Driver::new(&DriverConfig {
+        jobs,
+        cache_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    let out = drv.compile(&mut w.module, opts);
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Best-of-`reps` timing for one configuration. `wipe` empties the cache
+/// directory before every repetition (cold); otherwise the directory is
+/// left as-is (warm). Returns the minimum time, the last outcome and the
+/// printed module of the last repetition.
+fn measure(
+    i: usize,
+    smoke: bool,
+    jobs: usize,
+    dir: &Path,
+    wipe: bool,
+    reps: usize,
+) -> (f64, CompileOutcome, String) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        if wipe {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let mut w = fresh(i, smoke);
+        let (dt, out) = compile_once(&mut w, jobs, dir);
+        best = best.min(dt);
+        last = Some((out, print_module(&w.module)));
+    }
+    let (out, printed) = last.expect("at least one repetition");
+    (best, out, printed)
+}
+
+/// Adds one GEMM-like task (the `lu_inner` shape — a 3-deep affine nest
+/// with three 2-D accesses, the paper's Listing 3 pattern) under `name`.
+fn scale_task(m: &mut Module, name: &str, a: GlobalId, n: i64, blk: i64) {
+    let mut b = FunctionBuilder::new(name, vec![Type::I64, Type::I64, Type::I64], Type::Void);
+    b.set_task();
+    let (k0, i0, j0) = (Value::Arg(0), Value::Arg(1), Value::Arg(2));
+    b.counted_loop(Value::i64(0), Value::i64(blk), Value::i64(1), |b, i| {
+        b.counted_loop(Value::i64(0), Value::i64(blk), Value::i64(1), |b, j| {
+            let gi = b.iadd(i0, i);
+            let gj = b.iadd(j0, j);
+            let r = b.imul(gi, n);
+            let idx = b.iadd(r, gj);
+            let dst = b.elem_addr(Value::Global(a), idx, Type::F64);
+            let init = b.load(Type::F64, dst);
+            let acc = b.counted_loop_carried(
+                Value::i64(0),
+                Value::i64(blk),
+                Value::i64(1),
+                vec![init],
+                |b, p, c| {
+                    let gp = b.iadd(k0, p);
+                    let r1 = b.imul(gi, n);
+                    let i1 = b.iadd(r1, gp);
+                    let lip = b.elem_addr(Value::Global(a), i1, Type::F64);
+                    let r2 = b.imul(gp, n);
+                    let i2 = b.iadd(r2, gj);
+                    let upj = b.elem_addr(Value::Global(a), i2, Type::F64);
+                    let vl = b.load(Type::F64, lip);
+                    let vu = b.load(Type::F64, upj);
+                    let t = b.fmul(vl, vu);
+                    vec![b.fsub(c[0], t)]
+                },
+            );
+            b.store(dst, acc[0]);
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+}
+
+/// A module with `tasks` structurally identical (but distinctly named, so
+/// distinctly keyed) GEMM-like tasks: enough comparable compilation units
+/// that the parallel executor is not bound by one task's critical path —
+/// the shape of a whole program, rather than of one kernel's module.
+fn scaling_module(tasks: usize, n: i64, blk: i64) -> Module {
+    let mut m = Module::new();
+    let a = m.add_global("a", Type::F64, (n * n) as u64);
+    for k in 0..tasks {
+        scale_task(&mut m, &format!("scale_t{k}"), a, n, blk);
+    }
+    m
+}
+
+/// Best-of-`reps` cold compile time of the scaling module at `jobs`.
+fn measure_scaling(
+    tasks: usize,
+    n: i64,
+    blk: i64,
+    jobs: usize,
+    dir: &Path,
+    reps: usize,
+) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut printed = String::new();
+    for _ in 0..reps {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut m = scaling_module(tasks, n, blk);
+        let mut drv = Driver::new(&DriverConfig {
+            jobs,
+            cache_dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        });
+        let t0 = Instant::now();
+        let out = drv.compile(&mut m, |_, f| CompilerOptions {
+            param_hints: vec![0; f.params.len()],
+            ..Default::default()
+        });
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(out.generated, tasks, "scaling tasks must all compile");
+        if jobs > 1 {
+            // The work really fans out: more than one worker compiled
+            // something (holds even on one hardware core).
+            let workers: std::collections::HashSet<u32> =
+                out.spans.iter().map(|s| s.worker).collect();
+            assert!(workers.len() > 1, "parallel executor used a single worker: {workers:?}");
+        }
+        printed = print_module(&m);
+    }
+    (best, printed)
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var_os("DAE_BENCH_SMOKE").is_some();
+    let (mode, reps) = if smoke { ("smoke", 2) } else { ("full", 3) };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = cores.clamp(2, 4);
+    let names: Vec<&'static str> = if smoke { all_benchmarks_small() } else { all_benchmarks() }
+        .iter()
+        .map(|w| w.name)
+        .collect();
+    println!(
+        "Compilation driver benchmark [{mode}]: {} benchmark(s), best of {reps}, {jobs} jobs parallel",
+        names.len()
+    );
+
+    let cache_root: PathBuf = out_dir().join("compile-cache");
+    let parallel_col = format!("cold {jobs}j ms");
+    let columns = ["cold 1j ms", parallel_col.as_str(), "warm ms", "warm spdup", "par spdup"];
+    let mut rows = Vec::new();
+    let mut bench_json = Vec::new();
+    let mut warm_speedups = Vec::new();
+    let mut par_speedups = Vec::new();
+    let mut all_identical = true;
+
+    for (i, name) in names.iter().enumerate() {
+        let dir = cache_root.join(name);
+
+        let (cold1, cold_out, cold_ir) = measure(i, smoke, 1, &dir, true, reps);
+        let (coldn, _, par_ir) = measure(i, smoke, jobs, &dir, true, reps);
+        // The last parallel repetition left `dir` populated: warm runs
+        // replay every task (hits or refusal replays) from disk.
+        let (warm, warm_out, warm_ir) = measure(i, smoke, 1, &dir, false, reps);
+
+        assert!(
+            warm_out.cache.hits() >= 1,
+            "{name}: warm compile produced no cache hit ({:?})",
+            warm_out.cache
+        );
+        assert_eq!(
+            warm_out.from_cache, warm_out.tasks,
+            "{name}: warm compile missed the cache on some task"
+        );
+        let identical = cold_ir == par_ir && cold_ir == warm_ir;
+        assert!(identical, "{name}: driver output differs across jobs/cache configurations");
+        all_identical = all_identical && identical;
+
+        let warm_speedup = cold1 / warm.max(1e-12);
+        let par_speedup = cold1 / coldn.max(1e-12);
+        warm_speedups.push(warm_speedup);
+        par_speedups.push(par_speedup);
+        rows.push(Row {
+            label: name.to_string(),
+            values: vec![cold1 * 1e3, coldn * 1e3, warm * 1e3, warm_speedup, par_speedup],
+        });
+        bench_json.push(JsonValue::obj([
+            ("name", (*name).into()),
+            ("tasks", cold_out.tasks.into()),
+            ("generated", cold_out.generated.into()),
+            ("refused", cold_out.refused.into()),
+            ("cold_1j_s", cold1.into()),
+            ("cold_parallel_s", coldn.into()),
+            ("warm_s", warm.into()),
+            ("warm_speedup", warm_speedup.into()),
+            ("parallel_speedup", par_speedup.into()),
+            ("cold_misses", cold_out.cache.misses.into()),
+            ("cold_disk_writes", cold_out.cache.disk_writes.into()),
+            ("warm_mem_hits", warm_out.cache.mem_hits.into()),
+            ("warm_disk_hits", warm_out.cache.disk_hits.into()),
+            ("warm_from_cache", warm_out.from_cache.into()),
+            ("identical_output", identical.into()),
+        ]));
+    }
+
+    // Executor scaling: benchmark modules hold 1–4 tasks with one dominant
+    // kernel, so their parallel compile is critical-path-bound. A module
+    // with many comparable tasks is where `--jobs` pays off.
+    let (sc_tasks, sc_n, sc_blk) = if smoke { (8, 64, 8) } else { (12, 128, 24) };
+    let sc_dir = cache_root.join("scaling");
+    let (sc_cold1, sc_ir1) = measure_scaling(sc_tasks, sc_n, sc_blk, 1, &sc_dir, reps);
+    let (sc_coldn, sc_irn) = measure_scaling(sc_tasks, sc_n, sc_blk, jobs, &sc_dir, reps);
+    assert_eq!(sc_ir1, sc_irn, "scaling module differs between 1 and {jobs} jobs");
+    let sc_speedup = sc_cold1 / sc_coldn.max(1e-12);
+
+    let warm_gm = geomean(warm_speedups.iter().copied());
+    let par_gm = geomean(par_speedups.iter().copied());
+    rows.push(Row {
+        label: "G.Mean".to_string(),
+        values: vec![f64::NAN, f64::NAN, f64::NAN, warm_gm, par_gm],
+    });
+    print_table(
+        &format!("Driver compile time, cold vs warm, 1 vs {jobs} jobs [{mode}]"),
+        &columns,
+        &rows,
+        3,
+    );
+    println!(
+        "\nwarm-cache speedup geomean {warm_gm:.1}x, parallel cold speedup geomean {par_gm:.2}x"
+    );
+    println!(
+        "executor scaling ({sc_tasks} tasks, blk {sc_blk}): cold {:.1} ms at 1 job, \
+         {:.1} ms at {jobs} jobs — {sc_speedup:.2}x{}",
+        sc_cold1 * 1e3,
+        sc_coldn * 1e3,
+        if cores < 2 { " (single hardware core: ~1.0x expected)" } else { "" }
+    );
+    println!("byte-identical module everywhere: {}", if all_identical { "yes" } else { "NO" });
+
+    let v = JsonValue::obj([
+        ("schema", "dae-compile-bench/1".into()),
+        ("mode", mode.into()),
+        ("reps", reps.into()),
+        ("parallel_jobs", jobs.into()),
+        ("hardware_cores", cores.into()),
+        ("warm_speedup_geomean", warm_gm.into()),
+        ("parallel_speedup_geomean", par_gm.into()),
+        ("warm_at_least_5x", (warm_gm >= 5.0).into()),
+        // `null` when the host has one core: two workers on one CPU cannot
+        // beat one worker, so the wall-clock comparison carries no signal.
+        (
+            "parallel_cold_faster",
+            if cores >= 2 { (sc_speedup > 1.0).into() } else { JsonValue::Null },
+        ),
+        (
+            "scaling",
+            JsonValue::obj([
+                ("tasks", sc_tasks.into()),
+                ("n", (sc_n as u64).into()),
+                ("blk", (sc_blk as u64).into()),
+                ("cold_1j_s", sc_cold1.into()),
+                ("cold_parallel_s", sc_coldn.into()),
+                ("parallel_speedup", sc_speedup.into()),
+            ]),
+        ),
+        ("identical_output_everywhere", all_identical.into()),
+        ("benchmarks", JsonValue::Arr(bench_json)),
+    ]);
+    let path = out_dir().join(format!("BENCH_compile_{mode}.json"));
+    std::fs::write(&path, v.to_json_string()).expect("write compile bench json");
+    println!("   -> {}", path.display());
+}

@@ -19,10 +19,9 @@ use crate::access_info::{AffineAccess, ClassKey, TaskAccessInfo};
 use crate::options::{AffineStats, CompilerOptions};
 use dae_ir::{Function, FunctionBuilder, GlobalId, Type, Value};
 use dae_poly::{
-    convex_hull, count_union_distinct, extract_loop_nest, AffineImage, LinExpr, LoopNestSpec, Rat,
-    Space,
+    convex_hull, extract_loop_nest, try_count_union_distinct, AffineImage, LinExpr, LoopNestSpec,
+    Rat, Space,
 };
-use std::collections::HashMap;
 
 /// One access class: the unit of hull computation and codegen.
 struct Class {
@@ -62,15 +61,24 @@ pub fn generate_affine_access(
     }
     let hints = &opts.param_hints[..];
 
-    // 1. classes
-    let mut class_map: HashMap<ClassKey, Vec<&AffineAccess>> = HashMap::new();
+    // 1. classes, grouped in first-appearance order so the emitted function
+    //    is a deterministic (reproducible, cacheable) artifact of the input.
+    let mut class_keys: Vec<ClassKey> = Vec::new();
+    let mut class_accs: Vec<Vec<&AffineAccess>> = Vec::new();
     for acc in &info.affine {
-        class_map.entry(acc.class_key()).or_default().push(acc);
+        let key = acc.class_key();
+        match class_keys.iter().position(|k| *k == key) {
+            Some(i) => class_accs[i].push(acc),
+            None => {
+                class_keys.push(key);
+                class_accs.push(vec![acc]);
+            }
+        }
     }
 
     // 2. per-class union, hull, counts
     let mut classes: Vec<Class> = Vec::new();
-    for ((global, _), accs) in class_map {
+    for ((global, _), accs) in class_keys.into_iter().zip(class_accs) {
         let target_dims = accs[0].subscripts.len();
         let mut images: Vec<AffineImage> = Vec::new();
         for acc in &accs {
@@ -92,7 +100,9 @@ pub fn generate_affine_access(
                 .collect();
             images.push(AffineImage::new(acc.domain.clone(), map));
         }
-        let n_orig = count_union_distinct(&images, hints);
+        // An unbounded domain cannot be counted or scanned: refuse this
+        // task (skeleton fallback) instead of aborting compilation.
+        let n_orig = try_count_union_distinct(&images, hints).ok()?;
         if n_orig == 0 {
             continue; // empty domain: nothing to prefetch for this class
         }
@@ -105,7 +115,7 @@ pub fn generate_affine_access(
             }
         }
         let hull = convex_hull(target_dims, &points);
-        let n_conv = hull.count_integer_points();
+        let n_conv = hull.try_count_integer_points().ok()?;
         let nest = match extract_loop_nest(&hull) {
             Some(n) if n.is_unit() => n,
             _ => {

@@ -224,7 +224,7 @@ mod tests {
             param_hints: vec![64],
             ..Default::default()
         });
-        for (_, s) in &map.strategy_of {
+        for s in map.strategy_of.values() {
             assert!(matches!(s, Strategy::Skeleton));
         }
         assert_eq!(map.access_of.len(), 2);

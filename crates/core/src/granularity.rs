@@ -11,7 +11,7 @@
 
 use crate::access_info::analyze_task;
 use dae_ir::{FuncId, Module};
-use dae_poly::count_union_distinct;
+use dae_poly::try_count_union_distinct;
 use std::collections::HashMap;
 
 /// Exact working-set size in bytes of a fully affine task at the given
@@ -55,7 +55,7 @@ pub fn footprint_bytes(module: &Module, task: FuncId, param_values: &[i64]) -> O
     }
     let mut total = 0u64;
     for (key, images) in per_class {
-        let cells = count_union_distinct(&images, param_values);
+        let cells = try_count_union_distinct(&images, param_values).ok()?;
         total += cells * elem_of[&key].unsigned_abs();
     }
     Some(total)

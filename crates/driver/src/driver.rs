@@ -1,0 +1,429 @@
+//! The parallel compilation executor with deterministic merge.
+//!
+//! [`Driver::compile`] replaces [`dae_core::transform_module`]: it compiles
+//! every task in the module through a [`Pipeline`], consulting the
+//! incremental [`Cache`] first and fanning the misses out over a
+//! `std::thread::scope` worker pool. The output is **bit-identical at any
+//! thread count** — and to the sequential `transform_module` path — by
+//! construction:
+//!
+//! * workers only *read* the module (a shared `&Module` snapshot) and
+//!   return their generated functions; nothing mutates shared state off
+//!   the main thread;
+//! * results are scattered into per-task slots, then merged into the
+//!   module **in task order** on the main thread, so generated functions
+//!   get the same [`dae_ir::FuncId`]s regardless of completion order;
+//! * cache probes and inserts also happen on the main thread in task
+//!   order, so [`CacheStats`] are deterministic too.
+//!
+//! Work distribution (which worker compiles which task) is the only
+//! scheduling freedom, and it is observable *only* in the wall-clock
+//! [`PassSpan`]s — never in the compiled module or its statistics.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use dae_core::{CompilerOptions, DaeMap, GeneratedAccess, RefuseReason};
+use dae_ir::{FuncId, Function, Module};
+use dae_trace::{TraceEvent, TraceSink};
+
+use crate::cache::{Artifact, Cache, CacheStats, InfoSummary};
+use crate::hash::task_key;
+use crate::pass::{PassSpan, Pipeline};
+
+/// Driver construction knobs.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Worker threads for cache-miss compilation (1 = run on the caller).
+    pub jobs: usize,
+    /// Root of the on-disk cache tier; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Capacity (in artifacts) of the in-memory cache tier.
+    pub mem_capacity: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig { jobs: 1, cache_dir: None, mem_capacity: 256 }
+    }
+}
+
+/// The result of one [`Driver::compile`] call.
+#[derive(Debug)]
+pub struct CompileOutcome {
+    /// The task → access-function registry, exactly as
+    /// [`dae_core::transform_module`] would have produced it.
+    pub map: DaeMap,
+    /// Tasks seen.
+    pub tasks: usize,
+    /// Tasks for which an access function exists (compiled or cached).
+    pub generated: usize,
+    /// Tasks refused (they run coupled).
+    pub refused: usize,
+    /// Tasks answered from the cache (hits, both tiers).
+    pub from_cache: usize,
+    /// Cache counter increments attributable to this compile.
+    pub cache: CacheStats,
+    /// Timed pass spans, grouped by task in task order.
+    pub spans: Vec<PassSpan>,
+}
+
+/// One task's progress through probe → compile → merge.
+enum Slot {
+    /// Cache hit: merge the artifact directly.
+    Ready(Artifact),
+    /// Cache miss: the `k`-th entry of the parallel work list.
+    Work(usize),
+}
+
+/// The pipeline manager: compiles modules through a [`Pipeline`] with
+/// incremental caching and a parallel executor.
+pub struct Driver {
+    pipeline: Pipeline,
+    cache: Cache,
+    jobs: usize,
+}
+
+impl Driver {
+    /// A driver running [`Pipeline::standard`] under `config`.
+    pub fn new(config: &DriverConfig) -> Driver {
+        Driver::with_pipeline(Pipeline::standard(), config)
+    }
+
+    /// A driver running a custom pipeline.
+    pub fn with_pipeline(pipeline: Pipeline, config: &DriverConfig) -> Driver {
+        Driver {
+            pipeline,
+            cache: Cache::new(config.mem_capacity, config.cache_dir.as_deref()),
+            jobs: config.jobs.max(1),
+        }
+    }
+
+    /// The driver's pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Cache counters accumulated over the driver's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compiles every task in `module`, adding the generated access
+    /// functions exactly like [`dae_core::transform_module`] — same
+    /// functions, same ids, same registry — at any job count, cold or
+    /// warm cache.
+    pub fn compile(
+        &mut self,
+        module: &mut Module,
+        mut opts_for: impl FnMut(FuncId, &Function) -> CompilerOptions,
+    ) -> CompileOutcome {
+        let origin = Instant::now();
+        let before = self.cache.stats();
+        let fingerprint = self.pipeline.fingerprint();
+        let tasks = module.task_ids();
+
+        // Probe phase (main thread, task order): resolve each task to a
+        // cached artifact or a work-list slot.
+        let mut slots: Vec<Slot> = Vec::with_capacity(tasks.len());
+        let mut task_spans: Vec<Vec<PassSpan>> = vec![Vec::new(); tasks.len()];
+        let mut work: Vec<(FuncId, CompilerOptions, u64)> = Vec::new();
+        for (i, &task) in tasks.iter().enumerate() {
+            let opts = opts_for(task, module.func(task));
+            let key = task_key(module, task, &opts, fingerprint);
+            let start_s = origin.elapsed().as_secs_f64();
+            match self.cache.lookup(key) {
+                Some(artifact) => {
+                    task_spans[i].push(PassSpan {
+                        worker: 0,
+                        pass: "cache",
+                        func: module.func(task).name.clone(),
+                        start_s,
+                        dur_s: origin.elapsed().as_secs_f64() - start_s,
+                        cached: true,
+                    });
+                    slots.push(Slot::Ready(artifact));
+                }
+                None => {
+                    slots.push(Slot::Work(work.len()));
+                    work.push((task, opts, key));
+                }
+            }
+        }
+
+        // Compile phase: run the pipeline over every miss. Workers see a
+        // read-only module snapshot and return results keyed by work index.
+        type TaskResult = (Result<GeneratedAccess, RefuseReason>, Vec<PassSpan>);
+        let mut results: Vec<Option<TaskResult>> = Vec::with_capacity(work.len());
+        results.resize_with(work.len(), || None);
+        if self.jobs == 1 || work.len() <= 1 {
+            for (k, (task, opts, _)) in work.iter().enumerate() {
+                let mut spans = Vec::new();
+                let res =
+                    self.pipeline.run_task(module, *task, opts.clone(), origin, 0, &mut spans);
+                results[k] = Some((res, spans));
+            }
+        } else {
+            let snapshot: &Module = module;
+            let pipeline = &self.pipeline;
+            let next = AtomicUsize::new(0);
+            let worker_results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.jobs.min(work.len()))
+                    .map(|w| {
+                        let work = &work;
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut out: Vec<(usize, TaskResult)> = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                let Some((task, opts, _)) = work.get(k) else { break };
+                                let mut spans = Vec::new();
+                                let res = pipeline.run_task(
+                                    snapshot,
+                                    *task,
+                                    opts.clone(),
+                                    origin,
+                                    w as u32,
+                                    &mut spans,
+                                );
+                                out.push((k, (res, spans)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (k, r) in worker_results {
+                results[k] = Some(r);
+            }
+        }
+
+        // Merge phase (main thread, task order): identical add_function
+        // order — and therefore identical FuncIds — at any job count.
+        let mut map = DaeMap::default();
+        let mut outcome = CompileOutcome {
+            map: DaeMap::default(),
+            tasks: tasks.len(),
+            generated: 0,
+            refused: 0,
+            from_cache: 0,
+            cache: CacheStats::default(),
+            spans: Vec::new(),
+        };
+        for (i, (&task, slot)) in tasks.iter().zip(slots).enumerate() {
+            match slot {
+                Slot::Ready(artifact) => {
+                    outcome.from_cache += 1;
+                    match artifact {
+                        Artifact::Generated { func, strategy, info } => {
+                            outcome.generated += 1;
+                            let access_id = module.add_function(func);
+                            map.access_of.insert(task, access_id);
+                            map.strategy_of.insert(task, strategy);
+                            map.info_of.insert(task, info.into_info());
+                        }
+                        Artifact::Refused { reason } => {
+                            outcome.refused += 1;
+                            map.refused.insert(task, reason);
+                        }
+                    }
+                }
+                Slot::Work(k) => {
+                    let (res, spans) = results[k].take().expect("every work item was compiled");
+                    task_spans[i] = spans;
+                    let key = work[k].2;
+                    match res {
+                        Ok(g) => {
+                            outcome.generated += 1;
+                            self.cache.insert(
+                                key,
+                                Artifact::Generated {
+                                    func: g.func.clone(),
+                                    strategy: g.strategy.clone(),
+                                    info: InfoSummary::of(&g.info),
+                                },
+                            );
+                            let access_id = module.add_function(g.func);
+                            map.access_of.insert(task, access_id);
+                            map.strategy_of.insert(task, g.strategy);
+                            map.info_of.insert(task, g.info);
+                        }
+                        Err(reason) => {
+                            outcome.refused += 1;
+                            self.cache.insert(key, Artifact::Refused { reason: reason.clone() });
+                            map.refused.insert(task, reason);
+                        }
+                    }
+                }
+            }
+        }
+        outcome.map = map;
+        outcome.cache = self.cache.stats().delta(&before);
+        outcome.spans = task_spans.into_iter().flatten().collect();
+        outcome
+    }
+}
+
+/// Forwards pass spans to a trace sink as
+/// [`dae_trace::TraceEvent::CompilePass`] events. Worker indices are folded
+/// onto the sink's `lanes` (the traced machine's core count) so exporters
+/// indexing per-core arrays never see an out-of-range lane.
+pub fn emit_spans(spans: &[PassSpan], lanes: usize, sink: &mut dyn TraceSink) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let lanes = lanes.max(1) as u32;
+    for s in spans {
+        sink.record(TraceEvent::CompilePass {
+            core: s.worker % lanes,
+            pass: s.pass.to_string(),
+            func: s.func.clone(),
+            start_s: s.start_s,
+            dur_s: s.dur_s,
+            cached: s.cached,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_core::transform_module;
+    use dae_ir::{print_module, FunctionBuilder, Type, Value};
+    use dae_trace::Recorder;
+
+    /// A module with several distinct tasks: two affine streams, a gather
+    /// (skeleton path), and a store-only task (refused).
+    fn test_module() -> Module {
+        let mut m = Module::new();
+        let a = m.add_global("a", Type::F64, 4096);
+        let idx = m.add_global("idx", Type::I64, 512);
+        for (name, stride) in [("stream1", 1i64), ("stream2", 3i64)] {
+            let mut b = FunctionBuilder::new(name, vec![Type::I64], Type::Void);
+            b.set_task();
+            b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |b, i| {
+                let x = b.imul(i, stride);
+                let p = b.elem_addr(Value::Global(a), x, Type::F64);
+                let v = b.load(Type::F64, p);
+                let w = b.fmul(v, 2.0f64);
+                b.store(p, w);
+            });
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        let mut b = FunctionBuilder::new("gather", vec![Type::I64], Type::Void);
+        b.set_task();
+        b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |b, i| {
+            let ip = b.elem_addr(Value::Global(idx), i, Type::I64);
+            let j = b.load(Type::I64, ip);
+            let p = b.elem_addr(Value::Global(a), j, Type::F64);
+            let _ = b.load(Type::F64, p);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("writeonly", vec![], Type::Void);
+        b.set_task();
+        let p = b.elem_addr(Value::Global(a), Value::i64(0), Type::F64);
+        b.store(p, 1.0f64);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    fn opts_for(_: FuncId, f: &Function) -> CompilerOptions {
+        CompilerOptions { param_hints: vec![64; f.params.len()], ..Default::default() }
+    }
+
+    #[test]
+    fn matches_transform_module_at_any_job_count() {
+        let mut reference = test_module();
+        let ref_map = transform_module(&mut reference, opts_for);
+        let ref_text = print_module(&reference);
+        for jobs in [1usize, 2, 8] {
+            let mut m = test_module();
+            let mut d = Driver::new(&DriverConfig { jobs, ..Default::default() });
+            let out = d.compile(&mut m, opts_for);
+            assert_eq!(print_module(&m), ref_text, "jobs={jobs} must be bit-identical");
+            assert_eq!(out.tasks, 4);
+            assert_eq!(out.generated, 3);
+            assert_eq!(out.refused, 1);
+            assert_eq!(out.from_cache, 0);
+            assert_eq!(out.cache.misses, 4);
+            for (task, access) in &ref_map.access_of {
+                assert_eq!(out.map.access(*task), Some(*access), "same FuncIds");
+            }
+            assert_eq!(out.map.refused.len(), ref_map.refused.len());
+        }
+    }
+
+    #[test]
+    fn warm_compile_hits_the_cache_and_stays_identical() {
+        let mut cold = test_module();
+        let mut d = Driver::new(&DriverConfig::default());
+        let first = d.compile(&mut cold, opts_for);
+        assert_eq!(first.cache.misses, 4);
+        let mut warm = test_module();
+        let second = d.compile(&mut warm, opts_for);
+        assert_eq!(second.from_cache, 4);
+        assert_eq!(second.cache.mem_hits, 4);
+        assert_eq!(second.cache.misses, 0);
+        assert_eq!(print_module(&warm), print_module(&cold));
+        // Cached refusals replay too.
+        assert_eq!(second.refused, 1);
+        // Hit spans replace pass spans.
+        assert!(second.spans.iter().all(|s| s.pass == "cache" && s.cached));
+        assert_eq!(second.spans.len(), 4);
+    }
+
+    #[test]
+    fn disk_cache_round_trip_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("dae-driver-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DriverConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+        let mut cold = test_module();
+        Driver::new(&cfg).compile(&mut cold, opts_for);
+        // A *fresh* driver (empty memory tier) against the same directory.
+        let mut warm = test_module();
+        let mut d = Driver::new(&cfg);
+        let out = d.compile(&mut warm, opts_for);
+        assert_eq!(out.cache.disk_hits, 4, "all tasks replay from disk");
+        assert_eq!(print_module(&warm), print_module(&cold));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn options_change_invalidates_the_cache() {
+        let mut d = Driver::new(&DriverConfig::default());
+        let mut m1 = test_module();
+        d.compile(&mut m1, opts_for);
+        let mut m2 = test_module();
+        let out = d.compile(&mut m2, |_, f| CompilerOptions {
+            param_hints: vec![128; f.params.len()],
+            ..Default::default()
+        });
+        // The writeonly task has no params, so its options are unchanged —
+        // everything else misses.
+        assert_eq!(out.cache.misses, 3);
+        assert_eq!(out.from_cache, 1);
+    }
+
+    #[test]
+    fn spans_emit_as_compile_pass_events_clamped_to_lanes() {
+        let mut m = test_module();
+        let mut d = Driver::new(&DriverConfig { jobs: 8, ..Default::default() });
+        let out = d.compile(&mut m, opts_for);
+        let mut rec = Recorder::new(2);
+        emit_spans(&out.spans, rec.cores(), &mut rec);
+        assert_eq!(rec.len(), out.spans.len());
+        assert!(rec.events().iter().all(|e| e.core() < 2), "lanes folded onto cores");
+        assert!(rec.events().iter().all(|e| matches!(e, TraceEvent::CompilePass { .. })));
+        // The summary exporter aggregates them without panicking.
+        let s = dae_trace::summary::Summary::from_recorder(&rec);
+        assert_eq!(s.compile_passes, out.spans.len());
+    }
+}

@@ -1,0 +1,222 @@
+//! Stable structural hashing for incremental-cache keys.
+//!
+//! The cache key of one task compilation is an FNV-1a-64 digest over
+//! everything the generated artifact depends on:
+//!
+//! * the **printed IR** of the task function and of every function it
+//!   (transitively) calls — the printer is deterministic and captures the
+//!   full structure, so any semantic change changes the key;
+//! * the module's **global declarations** (id, name, length, element type)
+//!   — delinearisation and address generation read them; initial *values*
+//!   are excluded because generation never does;
+//! * every field of the [`CompilerOptions`] in a fixed order;
+//! * the **pipeline fingerprint** ([`crate::pass::Pipeline::fingerprint`]),
+//!   so artifacts produced by a different pass sequence (or a future
+//!   artifact-schema revision) never alias.
+//!
+//! `std::hash::Hasher` is deliberately not used: its output is not
+//! guaranteed stable across Rust releases, and these keys name on-disk
+//! artifacts that must survive toolchain upgrades.
+
+use dae_core::CompilerOptions;
+use dae_ir::{print_function, FuncId, InstKind, Module};
+
+/// A 64-bit FNV-1a hasher with a stable, documented algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a string, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` in little-endian byte order.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write(&[v as u8]);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Functions reachable from `root` through `call` instructions, `root`
+/// first, then callees in deterministic first-encounter (pre-order) order.
+fn reachable_funcs(module: &Module, root: FuncId) -> Vec<FuncId> {
+    let mut order = vec![root];
+    let mut cursor = 0;
+    while cursor < order.len() {
+        let f = module.func(order[cursor]);
+        cursor += 1;
+        f.for_each_placed_inst(|_, inst| {
+            if let InstKind::Call { callee, .. } = &f.inst(inst).kind {
+                if !order.contains(callee) {
+                    order.push(*callee);
+                }
+            }
+        });
+    }
+    order
+}
+
+/// Absorbs every [`CompilerOptions`] field, in declaration order.
+fn write_options(h: &mut Fnv64, opts: &CompilerOptions) {
+    // Field-by-field so a new knob cannot silently alias old artifacts —
+    // extend this list when CompilerOptions grows.
+    let CompilerOptions {
+        enable_polyhedral,
+        cfg_simplify,
+        line_dedup,
+        hull_threshold,
+        prefetch_writes,
+        param_hints,
+        skip_hull_check,
+    } = opts;
+    h.write_bool(*enable_polyhedral);
+    h.write_bool(*cfg_simplify);
+    h.write_bool(*line_dedup);
+    h.write_i64(*hull_threshold);
+    h.write_bool(*prefetch_writes);
+    h.write_u64(param_hints.len() as u64);
+    for &v in param_hints {
+        h.write_i64(v);
+    }
+    h.write_bool(*skip_hull_check);
+}
+
+/// The content-addressed cache key of compiling `task` under `opts` with
+/// the pipeline identified by `pipeline_fingerprint`.
+pub fn task_key(
+    module: &Module,
+    task: FuncId,
+    opts: &CompilerOptions,
+    pipeline_fingerprint: u64,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dae-driver-key/1");
+    h.write_u64(pipeline_fingerprint);
+    for f in reachable_funcs(module, task) {
+        h.write_str(&print_function(module.func(f), Some(module)));
+    }
+    h.write_u64(module.num_globals() as u64);
+    for (id, g) in module.globals() {
+        h.write_str(&format!("{id}"));
+        h.write_str(&g.name);
+        h.write_u64(g.len);
+        h.write_str(&format!("{}", g.elem_ty));
+    }
+    write_options(&mut h, opts);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_ir::{FunctionBuilder, Type, Value};
+
+    fn module_with_task(scale: i64) -> (Module, FuncId) {
+        let mut m = Module::new();
+        let a = m.add_global("a", Type::F64, 128);
+        let mut b = FunctionBuilder::new("t", vec![Type::I64], Type::Void);
+        b.set_task();
+        b.counted_loop(Value::i64(0), Value::Arg(0), Value::i64(1), |b, i| {
+            let x = b.imul(i, scale);
+            let p = b.elem_addr(Value::Global(a), x, Type::F64);
+            let _ = b.load(Type::F64, p);
+        });
+        b.ret(None);
+        let t = m.add_function(b.finish());
+        (m, t)
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference value of FNV-1a-64 over "hello" (no length prefix).
+        let mut h = Fnv64::new();
+        h.write(b"hello");
+        assert_eq!(h.finish(), 0xa430_d846_80aa_bd0b);
+    }
+
+    #[test]
+    fn key_is_deterministic_and_content_sensitive() {
+        let (m1, t1) = module_with_task(1);
+        let (m2, t2) = module_with_task(1);
+        let (m3, t3) = module_with_task(2);
+        let opts = CompilerOptions { param_hints: vec![64], ..Default::default() };
+        let k1 = task_key(&m1, t1, &opts, 7);
+        assert_eq!(k1, task_key(&m2, t2, &opts, 7), "same content, same key");
+        assert_ne!(k1, task_key(&m3, t3, &opts, 7), "different IR, different key");
+        assert_ne!(k1, task_key(&m1, t1, &opts, 8), "different pipeline, different key");
+        let other = CompilerOptions { param_hints: vec![65], ..Default::default() };
+        assert_ne!(k1, task_key(&m1, t1, &other, 7), "different options, different key");
+    }
+
+    #[test]
+    fn key_covers_callees_and_globals() {
+        let build = |leaf_scale: i64, glen: u64| {
+            let mut m = Module::new();
+            let a = m.add_global("a", Type::F64, glen);
+            let mut lb = FunctionBuilder::new("leaf", vec![Type::I64], Type::I64);
+            let v = lb.imul(Value::Arg(0), leaf_scale);
+            lb.ret(Some(v));
+            let leaf = m.add_function(lb.finish());
+            let mut b = FunctionBuilder::new("t", vec![Type::I64], Type::Void);
+            b.set_task();
+            let x = b.call(leaf, vec![Value::Arg(0)], Type::I64).expect("non-void call");
+            let p = b.elem_addr(Value::Global(a), x, Type::F64);
+            let _ = b.load(Type::F64, p);
+            b.ret(None);
+            let t = m.add_function(b.finish());
+            (m, t)
+        };
+        let opts = CompilerOptions::default();
+        let (m1, t1) = build(1, 128);
+        let (m2, t2) = build(2, 128);
+        let (m3, t3) = build(1, 256);
+        assert_ne!(
+            task_key(&m1, t1, &opts, 0),
+            task_key(&m2, t2, &opts, 0),
+            "callee body is part of the key"
+        );
+        assert_ne!(
+            task_key(&m1, t1, &opts, 0),
+            task_key(&m3, t3, &opts, 0),
+            "global declarations are part of the key"
+        );
+    }
+}

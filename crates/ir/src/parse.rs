@@ -336,7 +336,13 @@ fn parse_function(p: &mut Parser<'_>) -> Result<Function, ParseError> {
     let mut func = Function::new(name, params, ret);
     func.is_task = is_task;
     let mut block_order: Vec<(String, Vec<Type>)> = Vec::new();
-    let mut inst_order: Vec<String> = Vec::new();
+    // One entry per instruction in appearance order: `Some(name)` for value
+    // definitions, `None` for void instructions (store/prefetch/void call).
+    // Allocating both kinds in this order keeps instruction ids identical to
+    // a compacted function's placement order, so `parse(print(f)) == f` for
+    // everything the transform pipeline emits — the invariant the driver's
+    // on-disk artifact cache relies on for bit-identical warm recompiles.
+    let mut inst_order: Vec<Option<String>> = Vec::new();
     let mut depth = 1usize;
     while let Some((ln, l)) = p.next() {
         if l == "}" {
@@ -369,8 +375,14 @@ fn parse_function(p: &mut Parser<'_>) -> Result<Function, ParseError> {
             if l.contains(": ") && l.starts_with('v') {
                 let name = l[..l.find(':').unwrap()].trim().to_string();
                 let _ = eq;
-                inst_order.push(name);
+                inst_order.push(Some(name));
             }
+        } else if !(l.starts_with("jump ")
+            || l.starts_with("br ")
+            || l == "ret"
+            || l.starts_with("ret "))
+        {
+            inst_order.push(None);
         }
     }
     if depth != 0 {
@@ -386,11 +398,18 @@ fn parse_function(p: &mut Parser<'_>) -> Result<Function, ParseError> {
         }
         env.blocks.insert(bname.clone(), bb);
     }
-    // Allocate instruction slots in appearance order.
+    // Allocate instruction slots in appearance order; void-instruction ids
+    // queue up for the second pass to consume in the same order.
+    let mut void_ids: std::collections::VecDeque<InstId> = std::collections::VecDeque::new();
     for iname in &inst_order {
         // Placeholder kind/type, patched in the second pass.
         let id = func.create_inst(InstKind::Prefetch { addr: Value::ConstI64(0) }, Type::Void);
-        env.insts.insert(iname.clone(), id);
+        match iname {
+            Some(name) => {
+                env.insts.insert(name.clone(), id);
+            }
+            None => void_ids.push_back(id),
+        }
     }
 
     // Second pass: fill instructions and terminators.
@@ -438,7 +457,10 @@ fn parse_function(p: &mut Parser<'_>) -> Result<Function, ParseError> {
         } else {
             // void instruction: store / prefetch / call
             let kind = parse_inst_kind(p, &env, ln, l)?;
-            let id = func.create_inst(kind, Type::Void);
+            let id = void_ids
+                .pop_front()
+                .ok_or_else(|| perr(ln, "internal: unallocated void instruction"))?;
+            *func.inst_mut(id) = crate::function::InstData { kind, ty: Type::Void };
             func.append_inst(bb, id);
         }
     }

@@ -66,7 +66,7 @@ pub use codegen::{extract_loop_nest, Bound, DimBounds, LoopNestSpec};
 pub use count::{ehrhart_interpolate, lagrange, Poly};
 pub use hull::convex_hull;
 pub use linexpr::{LinExpr, Space};
-pub use map::{count_union_distinct, AffineImage};
-pub use polyhedron::{Constraint, ConstraintKind, Polyhedron};
+pub use map::{count_union_distinct, try_count_union_distinct, AffineImage};
+pub use polyhedron::{Constraint, ConstraintKind, Polyhedron, Unbounded};
 pub use rat::Rat;
 pub use vertex::vertices;

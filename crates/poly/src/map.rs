@@ -9,7 +9,7 @@
 //! [`crate::count`] for parametric counts).
 
 use crate::linexpr::LinExpr;
-use crate::polyhedron::Polyhedron;
+use crate::polyhedron::{Polyhedron, Unbounded};
 use crate::rat::Rat;
 use crate::vertex::vertices;
 use std::collections::HashSet;
@@ -39,16 +39,28 @@ impl AffineImage {
     }
 
     /// Enumerates the distinct integer target points for concrete parameter
-    /// values.
-    pub fn enumerate(&self, params: &[i64]) -> HashSet<Vec<i64>> {
+    /// values, or [`Unbounded`] when the instantiated domain cannot be
+    /// scanned.
+    pub fn try_enumerate(&self, params: &[i64]) -> Result<HashSet<Vec<i64>>, Unbounded> {
         let dom = self.domain.instantiate_params(params);
         let maps: Vec<LinExpr> = self.map.iter().map(|e| e.instantiate_params(params)).collect();
         let mut out = HashSet::new();
-        dom.for_each_integer_point(|pt| {
+        dom.try_for_each_integer_point(|pt| {
             let img: Vec<i64> = maps.iter().map(|e| e.eval_int(pt, &[]) as i64).collect();
             out.insert(img);
-        });
-        out
+        })?;
+        Ok(out)
+    }
+
+    /// Enumerates the distinct integer target points for concrete parameter
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instantiated domain is unbounded; compiler paths use
+    /// [`AffineImage::try_enumerate`] and refuse instead.
+    pub fn enumerate(&self, params: &[i64]) -> HashSet<Vec<i64>> {
+        self.try_enumerate(params).expect("bounded image domain")
     }
 
     /// The rational vertices of the image for concrete parameter values:
@@ -78,13 +90,26 @@ impl AffineImage {
 }
 
 /// Counts the distinct points in the union of several images for concrete
-/// parameter values (the paper's `NOrig`).
-pub fn count_union_distinct(images: &[AffineImage], params: &[i64]) -> u64 {
+/// parameter values (the paper's `NOrig`), or [`Unbounded`] when some
+/// image's domain cannot be scanned — the caller should refuse generation
+/// rather than abort.
+pub fn try_count_union_distinct(images: &[AffineImage], params: &[i64]) -> Result<u64, Unbounded> {
     let mut all: HashSet<Vec<i64>> = HashSet::new();
     for img in images {
-        all.extend(img.enumerate(params));
+        all.extend(img.try_enumerate(params)?);
     }
-    all.len() as u64
+    Ok(all.len() as u64)
+}
+
+/// Counts the distinct points in the union of several images for concrete
+/// parameter values (the paper's `NOrig`).
+///
+/// # Panics
+///
+/// Panics if some image's domain is unbounded; compiler paths use
+/// [`try_count_union_distinct`] and refuse instead.
+pub fn count_union_distinct(images: &[AffineImage], params: &[i64]) -> u64 {
+    try_count_union_distinct(images, params).expect("bounded image domains")
 }
 
 #[cfg(test)]

@@ -38,6 +38,24 @@ impl Constraint {
 /// `(coeff, expr)` with `coeff·d + expr >= 0`.
 pub type DimBound = (i128, LinExpr);
 
+/// Integer-point enumeration found no finite lower or upper bound for a
+/// dimension: the polyhedron is unbounded and cannot be scanned. Callers
+/// in the compiler treat this as a refusal (§5.1 profitability demands a
+/// finite cell count) and fall back to the skeleton strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unbounded {
+    /// The first dimension (in scanning order) with a missing bound.
+    pub dim: usize,
+}
+
+impl std::fmt::Display for Unbounded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "polyhedron unbounded in dim {}", self.dim)
+    }
+}
+
+impl std::error::Error for Unbounded {}
+
 /// A convex polyhedron `{ x | A·x + B·n + c >= 0, E·x + F·n + g == 0 }`
 /// over [`Space`] variables `x` (dims) and parameters `n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -298,11 +316,13 @@ impl Polyhedron {
     /// Enumerates all integer points of a **parameter-free, bounded**
     /// polyhedron in lexicographic order, invoking `f` on each.
     ///
+    /// Returns [`Unbounded`] when some dimension has no finite lower or
+    /// upper bound, so callers can refuse generation instead of aborting.
+    ///
     /// # Panics
     ///
-    /// Panics if the polyhedron still has parameters or is unbounded in some
-    /// dimension.
-    pub fn for_each_integer_point(&self, mut f: impl FnMut(&[i64])) {
+    /// Panics if the polyhedron still has parameters.
+    pub fn try_for_each_integer_point(&self, mut f: impl FnMut(&[i64])) -> Result<(), Unbounded> {
         assert_eq!(self.space.params, 0, "instantiate parameters before enumerating");
         // projs[k] = projection of self onto its first k dims.
         let mut projs: Vec<Polyhedron> = vec![self.clone()];
@@ -321,13 +341,13 @@ impl Polyhedron {
             point: &mut Vec<i64>,
             depth: usize,
             f: &mut impl FnMut(&[i64]),
-        ) {
+        ) -> Result<(), Unbounded> {
             let dims = point.len();
             if depth == dims {
                 if full.contains_int(point, &[]) {
                     f(point);
                 }
-                return;
+                return Ok(());
             }
             let p = &projs[depth + 1]; // polyhedron over dims 0..=depth
             let (lowers, uppers) = p.dim_bounds(depth);
@@ -350,7 +370,7 @@ impl Polyhedron {
             });
             if contradicted {
                 point[depth] = 0;
-                return;
+                return Ok(());
             }
             let mut lo: Option<i64> = None;
             let mut hi: Option<i64> = None;
@@ -367,29 +387,60 @@ impl Polyhedron {
             }
             let (lo, hi) = match (lo, hi) {
                 (Some(l), Some(h)) => (l, h),
-                _ => panic!("polyhedron unbounded in dim {depth}"),
+                _ => return Err(Unbounded { dim: depth }),
             };
             for v in lo..=hi {
                 point[depth] = v;
-                recurse(projs, full, point, depth + 1, f);
+                recurse(projs, full, point, depth + 1, f)?;
             }
             point[depth] = 0;
+            Ok(())
         }
-        recurse(&projs, self, &mut point, 0, &mut f);
+        recurse(&projs, self, &mut point, 0, &mut f)
+    }
+
+    /// Infallible [`Polyhedron::try_for_each_integer_point`] for polyhedra
+    /// that are bounded by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron has parameters or is unbounded.
+    pub fn for_each_integer_point(&self, f: impl FnMut(&[i64])) {
+        self.try_for_each_integer_point(f).expect("bounded polyhedron");
+    }
+
+    /// Collects all integer points, or [`Unbounded`] when they cannot be
+    /// enumerated (see [`Polyhedron::try_for_each_integer_point`]).
+    pub fn try_integer_points(&self) -> Result<Vec<Vec<i64>>, Unbounded> {
+        let mut out = Vec::new();
+        self.try_for_each_integer_point(|p| out.push(p.to_vec()))?;
+        Ok(out)
     }
 
     /// Collects all integer points (see [`Polyhedron::for_each_integer_point`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron has parameters or is unbounded.
     pub fn integer_points(&self) -> Vec<Vec<i64>> {
-        let mut out = Vec::new();
-        self.for_each_integer_point(|p| out.push(p.to_vec()));
-        out
+        self.try_integer_points().expect("bounded polyhedron")
+    }
+
+    /// Counts integer points of a parameter-free polyhedron, or
+    /// [`Unbounded`] when the count is infinite.
+    pub fn try_count_integer_points(&self) -> Result<u64, Unbounded> {
+        let mut n = 0u64;
+        self.try_for_each_integer_point(|_| n += 1)?;
+        Ok(n)
     }
 
     /// Counts integer points of a parameter-free bounded polyhedron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polyhedron has parameters or is unbounded.
     pub fn count_integer_points(&self) -> u64 {
-        let mut n = 0u64;
-        self.for_each_integer_point(|_| n += 1);
-        n
+        self.try_count_integer_points().expect("bounded polyhedron")
     }
 }
 
@@ -404,6 +455,24 @@ mod tests {
         p.bound_dim(0, 0, n - 1);
         p.bound_dim(1, 0, n - 1);
         p
+    }
+
+    #[test]
+    fn unbounded_enumeration_is_refused_not_fatal() {
+        // { x | x >= 0 } has no upper bound: enumeration must report the
+        // offending dimension instead of aborting the process.
+        let s = Space::new(1, 0);
+        let mut p = Polyhedron::universe(s);
+        p.add_ge0(LinExpr::dim(s, 0));
+        assert_eq!(p.try_count_integer_points(), Err(Unbounded { dim: 0 }));
+        assert_eq!(p.try_integer_points(), Err(Unbounded { dim: 0 }));
+
+        // Unbounded in an inner dimension only: { (x, y) | 0<=x<4, y>=x }.
+        let s2 = Space::new(2, 0);
+        let mut q = Polyhedron::universe(s2);
+        q.bound_dim(0, 0, 3);
+        q.add_ge0(LinExpr::dim(s2, 1).with_dim(0, -1));
+        assert_eq!(q.try_count_integer_points(), Err(Unbounded { dim: 1 }));
     }
 
     #[test]

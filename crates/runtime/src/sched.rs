@@ -263,6 +263,7 @@ fn run_scheduler(
         access_trace,
         execute_trace,
         governor,
+        compile: None,
     })
 }
 

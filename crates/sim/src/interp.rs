@@ -2,7 +2,7 @@
 //! cache hierarchy, producing an execution [`PhaseTrace`] for the timing
 //! model.
 
-use crate::memory::{Memory, Val};
+use crate::memory::{Memory, TypeError, Val};
 use crate::timing::{level_index, DemandMiss, PhaseTrace, TimingConfig};
 use dae_ir::{BinOp, BlockId, CmpOp, FuncId, Function, InstKind, Module, Terminator, UnOp, Value};
 use dae_mem::{CoreCaches, HitLevel, SharedLlc};
@@ -30,6 +30,16 @@ pub enum InterpError {
     StepLimit,
     /// A runtime trap (division by zero, call depth, malformed IR).
     Trap(String),
+    /// An operation received a value of the wrong runtime type (a
+    /// malformed module that slipped past verification).
+    TypeMismatch {
+        /// The payload kind the operation required.
+        expected: &'static str,
+        /// The payload kind actually present.
+        got: &'static str,
+    },
+    /// A load with a void result type.
+    LoadVoid,
 }
 
 impl fmt::Display for InterpError {
@@ -37,11 +47,24 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::StepLimit => write!(f, "dynamic instruction budget exhausted"),
             InterpError::Trap(m) => write!(f, "trap: {m}"),
+            InterpError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            InterpError::LoadVoid => write!(f, "cannot load a void value"),
         }
     }
 }
 
 impl std::error::Error for InterpError {}
+
+impl From<TypeError> for InterpError {
+    fn from(e: TypeError) -> Self {
+        match e {
+            TypeError::Mismatch { expected, got } => InterpError::TypeMismatch { expected, got },
+            TypeError::LoadVoid => InterpError::LoadVoid,
+        }
+    }
+}
 
 /// Per-block branch statistics of one function, collected by
 /// [`Machine::run_with_profile`]: how often each conditional branch was
@@ -208,15 +231,16 @@ impl<'m> Machine<'m> {
                 Terminator::Jump(d) => d,
                 Terminator::Branch { cond, then_dest, else_dest } => {
                     let (c, _) = eval(&frame, *cond);
+                    let taken = c.try_b()?;
                     if let Some(p) = profile.as_deref_mut() {
                         let e = p.counts.entry(block).or_insert((0, 0));
-                        if c.as_b() {
+                        if taken {
                             e.0 += 1;
                         } else {
                             e.1 += 1;
                         }
                     }
-                    if c.as_b() {
+                    if taken {
                         then_dest
                     } else {
                         else_dest
@@ -283,28 +307,29 @@ impl<'m> Machine<'m> {
                     trace.fp_ops += 1;
                     trace.extra_lat_cycles += cfg_extra.fsqrt_cyc;
                 }
-                Some((exec_unop(*op, a), t))
+                Some((exec_unop(*op, a)?, t))
             }
             InstKind::Cmp { op, lhs, rhs } => {
                 let (a, ta) = eval(frame, *lhs);
                 let (b, tb) = eval(frame, *rhs);
-                Some((Val::B(exec_cmp(*op, a, b)), ta || tb))
+                Some((Val::B(exec_cmp(*op, a, b)?), ta || tb))
             }
             InstKind::Select { cond, then_value, else_value } => {
                 let (c, tc) = eval(frame, *cond);
                 let (v, tv) =
-                    if c.as_b() { eval(frame, *then_value) } else { eval(frame, *else_value) };
+                    if c.try_b()? { eval(frame, *then_value) } else { eval(frame, *else_value) };
                 Some((v, tc || tv))
             }
             InstKind::PtrAdd { base, offset } => {
                 let (b, tb) = eval(frame, *base);
                 let (o, to) = eval(frame, *offset);
-                Some((Val::P((b.as_p() as i64).wrapping_add(o.as_i()) as u64), tb || to))
+                Some((Val::P((b.try_p()? as i64).wrapping_add(o.try_i()?) as u64), tb || to))
             }
             InstKind::Load { addr } => {
                 let (a, taint) = eval(frame, *addr);
+                let a = a.try_p()?;
                 trace.loads += 1;
-                let (level, hw_covered) = caches.core.access_demand(caches.llc, a.as_p());
+                let (level, hw_covered) = caches.core.access_demand(caches.llc, a);
                 let missed = level == HitLevel::Memory;
                 if missed && hw_covered {
                     // The L2 stream prefetcher fetched this line ahead of
@@ -318,25 +343,26 @@ impl<'m> Machine<'m> {
                             .push(DemandMiss { instr_idx: trace.instrs, dependent: taint });
                     }
                 }
-                let v = self.memory.read(data.ty, a.as_p());
+                let v = self.memory.try_read(data.ty, a)?;
                 Some((v, missed && !hw_covered))
             }
             InstKind::Store { addr, value } => {
                 let (a, _) = eval(frame, *addr);
+                let a = a.try_p()?;
                 let (v, _) = eval(frame, *value);
                 trace.stores += 1;
-                let (level, writebacks) = caches.core.access_write(caches.llc, a.as_p());
+                let (level, writebacks) = caches.core.access_write(caches.llc, a);
                 if level == HitLevel::Memory {
                     trace.store_mem_misses += 1;
                 }
                 trace.writeback_lines += writebacks;
-                self.memory.write(a.as_p(), v);
+                self.memory.write(a, v);
                 None
             }
             InstKind::Prefetch { addr } => {
                 let (a, _) = eval(frame, *addr);
                 trace.prefetches += 1;
-                let p = a.as_p();
+                let p = a.try_p()?;
                 // A prefetch never faults: out-of-range hints are dropped,
                 // exactly like `prefetcht0`.
                 if (p as usize) < self.memory.size() && p >= 0x1000 {
@@ -371,52 +397,52 @@ fn eval(frame: &Frame<'_>, v: Value) -> Slot {
 
 fn exec_binop(op: BinOp, a: Val, b: Val) -> Result<Val, InterpError> {
     Ok(match op {
-        BinOp::IAdd => Val::I(a.as_i().wrapping_add(b.as_i())),
-        BinOp::ISub => Val::I(a.as_i().wrapping_sub(b.as_i())),
-        BinOp::IMul => Val::I(a.as_i().wrapping_mul(b.as_i())),
+        BinOp::IAdd => Val::I(a.try_i()?.wrapping_add(b.try_i()?)),
+        BinOp::ISub => Val::I(a.try_i()?.wrapping_sub(b.try_i()?)),
+        BinOp::IMul => Val::I(a.try_i()?.wrapping_mul(b.try_i()?)),
         BinOp::IDiv => {
-            let d = b.as_i();
+            let d = b.try_i()?;
             if d == 0 {
                 return Err(InterpError::Trap("integer division by zero".into()));
             }
-            Val::I(a.as_i().wrapping_div(d))
+            Val::I(a.try_i()?.wrapping_div(d))
         }
         BinOp::IRem => {
-            let d = b.as_i();
+            let d = b.try_i()?;
             if d == 0 {
                 return Err(InterpError::Trap("integer remainder by zero".into()));
             }
-            Val::I(a.as_i().wrapping_rem(d))
+            Val::I(a.try_i()?.wrapping_rem(d))
         }
-        BinOp::And => Val::I(a.as_i() & b.as_i()),
-        BinOp::Or => Val::I(a.as_i() | b.as_i()),
-        BinOp::Xor => Val::I(a.as_i() ^ b.as_i()),
-        BinOp::Shl => Val::I(a.as_i().wrapping_shl(b.as_i() as u32)),
-        BinOp::AShr => Val::I(a.as_i().wrapping_shr(b.as_i() as u32)),
-        BinOp::FAdd => Val::F(a.as_f() + b.as_f()),
-        BinOp::FSub => Val::F(a.as_f() - b.as_f()),
-        BinOp::FMul => Val::F(a.as_f() * b.as_f()),
-        BinOp::FDiv => Val::F(a.as_f() / b.as_f()),
-        BinOp::FMin => Val::F(a.as_f().min(b.as_f())),
-        BinOp::FMax => Val::F(a.as_f().max(b.as_f())),
+        BinOp::And => Val::I(a.try_i()? & b.try_i()?),
+        BinOp::Or => Val::I(a.try_i()? | b.try_i()?),
+        BinOp::Xor => Val::I(a.try_i()? ^ b.try_i()?),
+        BinOp::Shl => Val::I(a.try_i()?.wrapping_shl(b.try_i()? as u32)),
+        BinOp::AShr => Val::I(a.try_i()?.wrapping_shr(b.try_i()? as u32)),
+        BinOp::FAdd => Val::F(a.try_f()? + b.try_f()?),
+        BinOp::FSub => Val::F(a.try_f()? - b.try_f()?),
+        BinOp::FMul => Val::F(a.try_f()? * b.try_f()?),
+        BinOp::FDiv => Val::F(a.try_f()? / b.try_f()?),
+        BinOp::FMin => Val::F(a.try_f()?.min(b.try_f()?)),
+        BinOp::FMax => Val::F(a.try_f()?.max(b.try_f()?)),
     })
 }
 
-fn exec_unop(op: UnOp, a: Val) -> Val {
-    match op {
-        UnOp::INeg => Val::I(a.as_i().wrapping_neg()),
-        UnOp::FNeg => Val::F(-a.as_f()),
-        UnOp::FSqrt => Val::F(a.as_f().sqrt()),
-        UnOp::IToF => Val::F(a.as_i() as f64),
-        UnOp::FToI => Val::I(a.as_f() as i64),
-        UnOp::PtrToInt => Val::I(a.as_p() as i64),
-        UnOp::IntToPtr => Val::P(a.as_i() as u64),
-        UnOp::Not => Val::B(!a.as_b()),
-    }
+fn exec_unop(op: UnOp, a: Val) -> Result<Val, InterpError> {
+    Ok(match op {
+        UnOp::INeg => Val::I(a.try_i()?.wrapping_neg()),
+        UnOp::FNeg => Val::F(-a.try_f()?),
+        UnOp::FSqrt => Val::F(a.try_f()?.sqrt()),
+        UnOp::IToF => Val::F(a.try_i()? as f64),
+        UnOp::FToI => Val::I(a.try_f()? as i64),
+        UnOp::PtrToInt => Val::I(a.try_p()? as i64),
+        UnOp::IntToPtr => Val::P(a.try_i()? as u64),
+        UnOp::Not => Val::B(!a.try_b()?),
+    })
 }
 
-fn exec_cmp(op: CmpOp, a: Val, b: Val) -> bool {
-    match (a, b) {
+fn exec_cmp(op: CmpOp, a: Val, b: Val) -> Result<bool, InterpError> {
+    Ok(match (a, b) {
         (Val::I(x), Val::I(y)) => cmp_ord(op, x.cmp(&y)),
         (Val::P(x), Val::P(y)) => cmp_ord(op, x.cmp(&y)),
         (Val::B(x), Val::B(y)) => cmp_ord(op, x.cmp(&y)),
@@ -428,8 +454,10 @@ fn exec_cmp(op: CmpOp, a: Val, b: Val) -> bool {
             CmpOp::Gt => x > y,
             CmpOp::Ge => x >= y,
         },
-        (x, y) => panic!("type-mismatched comparison {x:?} vs {y:?}"),
-    }
+        (x, y) => {
+            return Err(InterpError::TypeMismatch { expected: x.kind(), got: y.kind() });
+        }
+    })
 }
 
 fn cmp_ord(op: CmpOp, o: std::cmp::Ordering) -> bool {
@@ -608,6 +636,43 @@ mod tests {
             .run(f, &[Val::I(0)], &mut CachePort { core: &mut core, llc: &mut llc }, &mut trace)
             .unwrap_err();
         assert!(matches!(e, InterpError::Trap(_)));
+    }
+
+    #[test]
+    fn malformed_module_errors_instead_of_aborting() {
+        // An integer add over a float operand: rejected by the verifier,
+        // but a module that skips verification must still fail gracefully.
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("bad", vec![], Type::I64);
+        let v = b.iadd(Value::f64(1.5), Value::i64(2));
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let cfg = HierarchyConfig::default();
+        let mut llc = SharedLlc::new(cfg.llc);
+        let mut core = CoreCaches::new(&cfg);
+        let mut machine = Machine::new(&m);
+        let mut trace = PhaseTrace::default();
+        let f = m.func_by_name("bad").unwrap();
+        let e = machine
+            .run(f, &[], &mut CachePort { core: &mut core, llc: &mut llc }, &mut trace)
+            .unwrap_err();
+        assert_eq!(e, InterpError::TypeMismatch { expected: "i64", got: "f64" });
+
+        // A void-typed load: reported as LoadVoid, not a process abort.
+        let mut m2 = Module::new();
+        let g = m2.add_global("a", Type::F64, 1);
+        let mut b2 = FunctionBuilder::new("voidload", vec![], Type::Void);
+        let addr = b2.elem_addr(Value::Global(g), Value::i64(0), Type::F64);
+        let _ = b2.load(Type::Void, addr);
+        b2.ret(None);
+        m2.add_function(b2.finish());
+        let mut machine2 = Machine::new(&m2);
+        let mut trace2 = PhaseTrace::default();
+        let f2 = m2.func_by_name("voidload").unwrap();
+        let e2 = machine2
+            .run(f2, &[], &mut CachePort { core: &mut core, llc: &mut llc }, &mut trace2)
+            .unwrap_err();
+        assert_eq!(e2, InterpError::LoadVoid);
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub mod memory;
 pub mod timing;
 
 pub use interp::{BranchProfile, CachePort, InterpConfig, InterpError, Machine};
-pub use memory::{Memory, Val};
+pub use memory::{Memory, TypeError, Val};
 pub use timing::{DemandMiss, PhaseTrace, TimingConfig};

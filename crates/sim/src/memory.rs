@@ -15,53 +15,117 @@ pub enum Val {
     P(u64),
 }
 
+/// A runtime type violation: an operation received a [`Val`] of the wrong
+/// kind, or a typed access used [`Type::Void`]. Produced by the fallible
+/// `Val` accessors and [`Memory::try_read`] so a malformed module fails a
+/// run gracefully instead of aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// Expected one payload kind, got another.
+    Mismatch {
+        /// The kind the operation required.
+        expected: &'static str,
+        /// The kind actually present.
+        got: &'static str,
+    },
+    /// A typed load at [`Type::Void`].
+    LoadVoid,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::Mismatch { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            TypeError::LoadVoid => write!(f, "cannot load a void value"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
 impl Val {
+    /// The name of this value's payload kind.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Val::I(_) => "i64",
+            Val::F(_) => "f64",
+            Val::B(_) => "bool",
+            Val::P(_) => "ptr",
+        }
+    }
+
+    /// The integer payload, or a [`TypeError`] for any other kind.
+    pub fn try_i(self) -> Result<i64, TypeError> {
+        match self {
+            Val::I(v) => Ok(v),
+            other => Err(TypeError::Mismatch { expected: "i64", got: other.kind() }),
+        }
+    }
+
+    /// The float payload, or a [`TypeError`] for any other kind.
+    pub fn try_f(self) -> Result<f64, TypeError> {
+        match self {
+            Val::F(v) => Ok(v),
+            other => Err(TypeError::Mismatch { expected: "f64", got: other.kind() }),
+        }
+    }
+
+    /// The boolean payload, or a [`TypeError`] for any other kind.
+    pub fn try_b(self) -> Result<bool, TypeError> {
+        match self {
+            Val::B(v) => Ok(v),
+            other => Err(TypeError::Mismatch { expected: "bool", got: other.kind() }),
+        }
+    }
+
+    /// The pointer payload, or a [`TypeError`] for any other kind.
+    pub fn try_p(self) -> Result<u64, TypeError> {
+        match self {
+            Val::P(v) => Ok(v),
+            other => Err(TypeError::Mismatch { expected: "ptr", got: other.kind() }),
+        }
+    }
+
     /// The integer payload.
     ///
     /// # Panics
     ///
-    /// Panics if the value is not an integer.
+    /// Panics if the value is not an integer (test helper; execution paths
+    /// use [`Val::try_i`]).
     pub fn as_i(self) -> i64 {
-        match self {
-            Val::I(v) => v,
-            other => panic!("expected i64, got {other:?}"),
-        }
+        self.try_i().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The float payload.
     ///
     /// # Panics
     ///
-    /// Panics if the value is not a float.
+    /// Panics if the value is not a float (test helper; execution paths
+    /// use [`Val::try_f`]).
     pub fn as_f(self) -> f64 {
-        match self {
-            Val::F(v) => v,
-            other => panic!("expected f64, got {other:?}"),
-        }
+        self.try_f().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The boolean payload.
     ///
     /// # Panics
     ///
-    /// Panics if the value is not a boolean.
+    /// Panics if the value is not a boolean (test helper; execution paths
+    /// use [`Val::try_b`]).
     pub fn as_b(self) -> bool {
-        match self {
-            Val::B(v) => v,
-            other => panic!("expected bool, got {other:?}"),
-        }
+        self.try_b().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The pointer payload.
     ///
     /// # Panics
     ///
-    /// Panics if the value is not a pointer.
+    /// Panics if the value is not a pointer (test helper; execution paths
+    /// use [`Val::try_p`]).
     pub fn as_p(self) -> u64 {
-        match self {
-            Val::P(v) => v,
-            other => panic!("expected ptr, got {other:?}"),
-        }
+        self.try_p().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -132,13 +196,14 @@ impl Memory {
         self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
     }
 
-    /// Reads a typed value.
+    /// Reads a typed value; [`TypeError::LoadVoid`] for a [`Type::Void`]
+    /// load (malformed IR that slipped past verification).
     ///
     /// # Panics
     ///
-    /// Panics on out-of-bounds access or a [`Type::Void`] load.
-    pub fn read(&self, ty: Type, addr: u64) -> Val {
-        match ty {
+    /// Panics on out-of-bounds access.
+    pub fn try_read(&self, ty: Type, addr: u64) -> Result<Val, TypeError> {
+        Ok(match ty {
             Type::I64 => Val::I(self.read_u64(addr) as i64),
             Type::F64 => Val::F(f64::from_bits(self.read_u64(addr))),
             Type::Ptr => Val::P(self.read_u64(addr)),
@@ -146,8 +211,18 @@ impl Memory {
                 self.check(addr, 1);
                 Val::B(self.bytes[addr as usize] != 0)
             }
-            Type::Void => panic!("cannot load void"),
-        }
+            Type::Void => return Err(TypeError::LoadVoid),
+        })
+    }
+
+    /// Reads a typed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or a [`Type::Void`] load (test
+    /// helper; execution paths use [`Memory::try_read`]).
+    pub fn read(&self, ty: Type, addr: u64) -> Val {
+        self.try_read(ty, addr).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Writes a typed value.
@@ -224,5 +299,23 @@ mod tests {
         assert_eq!(Val::F(2.5).as_f(), 2.5);
         assert!(Val::B(true).as_b());
         assert_eq!(Val::P(0x40).as_p(), 0x40);
+    }
+
+    #[test]
+    fn mismatched_accessors_report_kinds() {
+        assert_eq!(Val::F(1.0).try_i(), Err(TypeError::Mismatch { expected: "i64", got: "f64" }));
+        assert_eq!(Val::I(1).try_f(), Err(TypeError::Mismatch { expected: "f64", got: "i64" }));
+        assert_eq!(Val::P(8).try_b(), Err(TypeError::Mismatch { expected: "bool", got: "ptr" }));
+        assert_eq!(Val::B(true).try_p(), Err(TypeError::Mismatch { expected: "ptr", got: "bool" }));
+        assert_eq!(Val::I(3).try_i(), Ok(3));
+    }
+
+    #[test]
+    fn void_load_is_an_error_not_an_abort() {
+        let mut m = Module::new();
+        let g = m.add_global("g", Type::F64, 1);
+        let mem = Memory::for_module(&m);
+        let base = mem.global_addr(g);
+        assert_eq!(mem.try_read(Type::Void, base), Err(TypeError::LoadVoid));
     }
 }

@@ -125,6 +125,14 @@ fn span_event(ev: &TraceEvent) -> JsonValue {
             ]),
         ),
         TraceEvent::Idle { .. } => ("idle".to_string(), JsonValue::obj([])),
+        TraceEvent::CompilePass { pass, func, cached, .. } => (
+            format!("{pass} [{func}]"),
+            JsonValue::obj([
+                ("pass", pass.as_str().into()),
+                ("func", func.as_str().into()),
+                ("cached", (*cached).into()),
+            ]),
+        ),
         TraceEvent::GovernorDecision {
             task,
             class,

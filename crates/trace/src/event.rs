@@ -155,6 +155,25 @@ pub enum TraceEvent {
         /// Duration in seconds.
         dur_s: f64,
     },
+    /// One compiler pass executed by the compilation driver over one
+    /// function. Unlike the runtime variants the interval is **host
+    /// wall-clock** seconds, relative to the driver run's origin — the
+    /// same exporters render compile time the way they render run time.
+    CompilePass {
+        /// Driver worker index (the lane the span renders on).
+        core: u32,
+        /// Name of the pass.
+        pass: String,
+        /// Name of the function being compiled.
+        func: String,
+        /// Start in seconds since the driver run began.
+        start_s: f64,
+        /// Duration in seconds.
+        dur_s: f64,
+        /// True when the pass result was replayed from the incremental
+        /// cache instead of being recomputed.
+        cached: bool,
+    },
     /// An online governor's per-task frequency decision (instantaneous:
     /// the decision itself costs no virtual time or energy).
     GovernorDecision {
@@ -185,6 +204,7 @@ impl TraceEvent {
             | TraceEvent::Overhead { core, .. }
             | TraceEvent::DvfsTransition { core, .. }
             | TraceEvent::Idle { core, .. }
+            | TraceEvent::CompilePass { core, .. }
             | TraceEvent::GovernorDecision { core, .. } => *core,
         }
     }
@@ -196,6 +216,7 @@ impl TraceEvent {
             | TraceEvent::Overhead { start_s, .. }
             | TraceEvent::DvfsTransition { start_s, .. }
             | TraceEvent::Idle { start_s, .. }
+            | TraceEvent::CompilePass { start_s, .. }
             | TraceEvent::GovernorDecision { start_s, .. } => *start_s,
         }
     }
@@ -206,7 +227,8 @@ impl TraceEvent {
             TraceEvent::Phase { dur_s, .. }
             | TraceEvent::Overhead { dur_s, .. }
             | TraceEvent::DvfsTransition { dur_s, .. }
-            | TraceEvent::Idle { dur_s, .. } => *dur_s,
+            | TraceEvent::Idle { dur_s, .. }
+            | TraceEvent::CompilePass { dur_s, .. } => *dur_s,
             TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
@@ -226,18 +248,22 @@ impl TraceEvent {
             TraceEvent::Overhead { energy_j, .. } | TraceEvent::DvfsTransition { energy_j, .. } => {
                 *energy_j
             }
-            TraceEvent::Idle { .. } | TraceEvent::GovernorDecision { .. } => 0.0,
+            TraceEvent::Idle { .. }
+            | TraceEvent::CompilePass { .. }
+            | TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
-    /// Stable category slug: `access`, `execute`, `overhead`, `dvfs` or
-    /// `idle`. Exporters group and reconcile spans by this.
+    /// Stable category slug: `access`, `execute`, `overhead`, `dvfs`,
+    /// `idle`, `compile` or `governor`. Exporters group and reconcile
+    /// spans by this.
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::Phase { kind, .. } => kind.as_str(),
             TraceEvent::Overhead { .. } => "overhead",
             TraceEvent::DvfsTransition { .. } => "dvfs",
             TraceEvent::Idle { .. } => "idle",
+            TraceEvent::CompilePass { .. } => "compile",
             TraceEvent::GovernorDecision { .. } => "governor",
         }
     }
@@ -272,6 +298,14 @@ mod tests {
                 energy_j: 0.2,
             },
             TraceEvent::Idle { core: 1, start_s: 1.5, dur_s: 0.5 },
+            TraceEvent::CompilePass {
+                core: 1,
+                pass: "generate-access".into(),
+                func: "lu_inner".into(),
+                start_s: 0.0,
+                dur_s: 0.01,
+                cached: false,
+            },
             TraceEvent::GovernorDecision {
                 core: 1,
                 task: 7,
@@ -284,16 +318,19 @@ mod tests {
             },
         ];
         let cats: Vec<&str> = events.iter().map(|e| e.category()).collect();
-        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle", "governor"]);
+        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle", "compile", "governor"]);
         for e in &events {
             assert_eq!(e.core(), 1);
             assert!((e.end_s() - e.start_s() - e.dur_s()).abs() < 1e-15);
         }
         assert_eq!(events[0].energy_j(), 3.0);
         assert_eq!(events[3].energy_j(), 0.0);
-        // Decisions are instantaneous and free.
-        assert_eq!(events[4].dur_s(), 0.0);
+        // Compile passes burn wall-clock, not modelled energy.
         assert_eq!(events[4].energy_j(), 0.0);
+        assert!((events[4].dur_s() - 0.01).abs() < 1e-15);
+        // Decisions are instantaneous and free.
+        assert_eq!(events[5].dur_s(), 0.0);
+        assert_eq!(events[5].energy_j(), 0.0);
     }
 
     #[test]

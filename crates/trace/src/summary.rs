@@ -44,6 +44,10 @@ pub struct Summary {
     pub dvfs_transitions: usize,
     /// Governor decisions recorded (0 unless the run was governed).
     pub governor_decisions: usize,
+    /// Compiler passes recorded (0 unless the trace covers a driver run).
+    pub compile_passes: usize,
+    /// Wall-clock core-seconds spent in compiler passes.
+    pub compile_s: f64,
     /// Core-seconds spent in access phases.
     pub access_s: f64,
     /// Core-seconds spent in execute phases.
@@ -112,6 +116,11 @@ impl Summary {
                     s.idle_s += dur_s;
                     lane.1 += dur_s;
                 }
+                TraceEvent::CompilePass { dur_s, .. } => {
+                    s.compile_passes += 1;
+                    s.compile_s += dur_s;
+                    lane.0 += dur_s;
+                }
                 TraceEvent::GovernorDecision { .. } => {
                     s.governor_decisions += 1;
                 }
@@ -138,6 +147,7 @@ impl Summary {
             ("access_phases", self.access_phases.into()),
             ("dvfs_transitions", self.dvfs_transitions.into()),
             ("governor_decisions", self.governor_decisions.into()),
+            ("compile_passes", self.compile_passes.into()),
             (
                 "phase_s",
                 JsonValue::obj([
@@ -145,6 +155,7 @@ impl Summary {
                     ("execute", self.execute_s.into()),
                     ("overhead", self.overhead_s.into()),
                     ("idle", self.idle_s.into()),
+                    ("compile", self.compile_s.into()),
                 ]),
             ),
             (

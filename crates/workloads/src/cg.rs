@@ -249,7 +249,7 @@ mod tests {
         for (task, s) in &map.strategy_of {
             assert!(matches!(s, Strategy::Skeleton), "{}", w.module.func(*task).name);
         }
-        for (_, info) in &map.info_of {
+        for info in map.info_of.values() {
             assert_eq!(info.loops_affine, 0);
         }
     }

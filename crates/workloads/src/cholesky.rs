@@ -294,10 +294,10 @@ mod tests {
         w.compile_auto();
         let map = w.auto_map().unwrap();
         assert!(map.refused.is_empty(), "{:?}", map.refused);
-        for (_, s) in &map.strategy_of {
+        for s in map.strategy_of.values() {
             assert!(matches!(s, Strategy::Polyhedral(_)), "{s:?}");
         }
-        for (_, info) in &map.info_of {
+        for info in map.info_of.values() {
             assert_eq!(info.loops_affine, info.loops_total);
         }
     }

@@ -271,7 +271,7 @@ mod tests {
         w.compile_auto();
         let map = w.auto_map().unwrap();
         assert!(map.refused.is_empty(), "{:?}", map.refused);
-        for (_, s) in &map.strategy_of {
+        for s in map.strategy_of.values() {
             assert!(matches!(s, Strategy::Skeleton));
         }
     }

@@ -1,7 +1,7 @@
 //! Shared workload infrastructure: variants, auto-compilation, instances.
 
 use dae_core::{transform_module, CompilerOptions, DaeMap};
-use dae_ir::{FuncId, Module};
+use dae_ir::{FuncId, Function, Module};
 use dae_runtime::TaskInstance;
 use dae_sim::Val;
 use std::collections::HashMap;
@@ -78,15 +78,30 @@ impl Workload {
     /// its two stated advantages over the manual approach.
     pub fn compile_auto(&mut self) -> &DaeMap {
         if self.auto.is_none() {
-            let hints = self.hints.clone();
-            let base = self.base_options.clone();
-            let map = transform_module(&mut self.module, |task, _| CompilerOptions {
-                param_hints: hints.get(&task).cloned().unwrap_or_default(),
-                ..base.clone()
-            });
+            let opts_for = self.auto_options_fn();
+            let map = transform_module(&mut self.module, opts_for);
             self.auto = Some(map);
         }
         self.auto.as_ref().expect("just set")
+    }
+
+    /// The per-task options closure [`Workload::compile_auto`] uses, with
+    /// the hint table captured by clone. Hand it to an external compilation
+    /// driver (e.g. `dae-driver`) to reproduce `compile_auto` exactly.
+    pub fn auto_options_fn(&self) -> impl FnMut(FuncId, &Function) -> CompilerOptions + 'static {
+        let hints = self.hints.clone();
+        let base = self.base_options.clone();
+        move |task, _| CompilerOptions {
+            param_hints: hints.get(&task).cloned().unwrap_or_default(),
+            ..base.clone()
+        }
+    }
+
+    /// Installs an externally produced compilation result (the access
+    /// functions must already be registered in [`Workload::module`]),
+    /// so [`Variant::AutoDae`] resolves through it.
+    pub fn install_auto(&mut self, map: DaeMap) {
+        self.auto = Some(map);
     }
 
     /// The compiler's decisions, if [`Workload::compile_auto`] has run.

@@ -361,7 +361,7 @@ mod tests {
             );
         }
         // Table 1: every target loop is affine.
-        for (_, info) in &map.info_of {
+        for info in map.info_of.values() {
             assert_eq!(info.loops_affine, info.loops_total);
         }
     }

@@ -5,11 +5,16 @@
 //!
 //! ```text
 //! daec <file.dae> [--report] [--run] [--policy <spec>] [--hints a,b,c]
+//!      [--jobs N] [--cache-dir <dir>]
 //!      [--no-polyhedral] [--no-cfg-simplify] [--line-dedup]
 //!      [--prefetch-writes] [--trace-out <file> [--trace-format chrome|summary]]
 //! ```
 //!
 //! * `--report` — print per-task strategy/statistics instead of IR
+//! * `--jobs` — compile tasks on N worker threads (default 1). The output
+//!   module is bit-identical at any job count.
+//! * `--cache-dir` — persist compiled access phases in `<dir>`; warm
+//!   recompiles of unchanged tasks skip the polyhedral analysis entirely
 //! * `--run` — additionally execute every task (coupled vs decoupled) and
 //!   report time/energy/EDP under the paper's machine model
 //! * `--policy` — frequency policy for the decoupled runs (`--policy help`
@@ -27,13 +32,15 @@
 //!
 //! Try it on the bundled examples: `cargo run --bin daec -- examples/ir/stream.dae --report --run`
 
-use dae_repro::compiler::{transform_module, CompilerOptions, Strategy};
+use dae_repro::compiler::{CompilerOptions, Strategy};
+use dae_repro::driver::{emit_spans, CompileOutcome, Driver, DriverConfig};
 use dae_repro::ir::{parse::parse_module, print_module, verify_module, Function};
 use dae_repro::runtime::{
-    run_workload, run_workload_traced, FreqPolicy, RuntimeConfig, TaskInstance,
+    run_workload, run_workload_traced, CompileStats, FreqPolicy, RuntimeConfig, TaskInstance,
 };
 use dae_repro::sim::Val;
 use dae_repro::trace::{chrome, json::JsonValue, summary, Recorder};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -51,6 +58,8 @@ struct Args {
     policy: FreqPolicy,
     trace_out: Option<String>,
     trace_format: TraceFormat,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
 }
 
 /// `Ok(None)` means the invocation was fully handled (e.g. `--policy help`).
@@ -63,6 +72,8 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut policy = FreqPolicy::DaeOptimal;
     let mut trace_out = None;
     let mut trace_format = TraceFormat::Chrome;
+    let mut jobs = 1usize;
+    let mut cache_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -95,6 +106,16 @@ fn parse_args() -> Result<Option<Args>, String> {
                     }
                 };
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse::<usize>().map_err(|e| format!("bad job count: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(it.next().ok_or("--cache-dir needs a path")?));
+            }
             "--no-polyhedral" => opts.enable_polyhedral = false,
             "--no-cfg-simplify" => opts.cfg_simplify = false,
             "--line-dedup" => opts.line_dedup = true,
@@ -114,7 +135,23 @@ fn parse_args() -> Result<Option<Args>, String> {
         policy,
         trace_out,
         trace_format,
+        jobs,
+        cache_dir,
     }))
+}
+
+/// The report-facing view of a driver compile: deterministic counts only.
+fn compile_stats(outcome: &CompileOutcome) -> CompileStats {
+    CompileStats {
+        tasks: outcome.tasks,
+        generated: outcome.generated,
+        refused: outcome.refused,
+        from_cache: outcome.from_cache,
+        mem_hits: outcome.cache.mem_hits,
+        disk_hits: outcome.cache.disk_hits,
+        misses: outcome.cache.misses,
+        evictions: outcome.cache.evictions,
+    }
 }
 
 /// Argument vector for one task invocation: integer hints positionally,
@@ -157,7 +194,12 @@ fn run_main() -> Result<(), String> {
 
     let hints = args.hints.clone();
     let opts = args.opts.clone();
-    let map = transform_module(&mut module, |_, f| CompilerOptions {
+    let mut driver = Driver::new(&DriverConfig {
+        jobs: args.jobs,
+        cache_dir: args.cache_dir.clone(),
+        ..Default::default()
+    });
+    let outcome = driver.compile(&mut module, |_, f| CompilerOptions {
         param_hints: if hints.len() == f.params.len() {
             hints.clone()
         } else {
@@ -165,6 +207,7 @@ fn run_main() -> Result<(), String> {
         },
         ..opts.clone()
     });
+    let map = &outcome.map;
     verify_module(&module).map_err(|e| e.to_string())?;
 
     if args.report {
@@ -196,6 +239,18 @@ fn run_main() -> Result<(), String> {
                 None => println!("{name:<20} {:<12} {}", "refused", map.refused[task]),
             }
         }
+        let c = &outcome.cache;
+        println!(
+            "compile: {} tasks, {} generated, {} refused, {} from cache \
+             (mem {} / disk {} / miss {})",
+            outcome.tasks,
+            outcome.generated,
+            outcome.refused,
+            outcome.from_cache,
+            c.mem_hits,
+            c.disk_hits,
+            c.misses
+        );
     } else {
         print!("{}", print_module(&module));
     }
@@ -244,8 +299,10 @@ fn run_main() -> Result<(), String> {
             .collect();
         let cfg = RuntimeConfig::paper_default().with_policy(args.policy);
         let mut rec = Recorder::new(cfg.cores);
-        let report =
+        emit_spans(&outcome.spans, rec.cores(), &mut rec);
+        let mut report =
             run_workload_traced(&module, &insts, &cfg, &mut rec).map_err(|e| e.to_string())?;
+        report.compile = Some(compile_stats(&outcome));
         let meta: Vec<(String, JsonValue)> = vec![
             ("source".to_string(), args.file.as_str().into()),
             ("policy".to_string(), cfg.policy.label(&cfg.table).as_str().into()),

@@ -16,6 +16,7 @@
 //! | [`analysis`] | CFG/dominators/loops/SCEV + transforms (LLVM passes) |
 //! | [`poly`] | exact polyhedral library (PolyLib stand-in) |
 //! | [`compiler`] | §5 access-phase generation — the paper's contribution |
+//! | [`driver`] | parallel, incrementally-cached compilation pipeline manager |
 //! | [`mem`] | Sandybridge-like cache hierarchy |
 //! | [`power`] | the §3.2 DVFS power/energy/EDP model |
 //! | [`sim`] | IR interpreter + OoO interval timing model |
@@ -57,6 +58,7 @@
 
 pub use dae_analysis as analysis;
 pub use dae_core as compiler;
+pub use dae_driver as driver;
 pub use dae_governor as governor;
 pub use dae_ir as ir;
 pub use dae_mem as mem;

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` / [`Criterion`]
+//! shape used by this workspace's benches. It times a fixed number of
+//! iterations and prints the mean wall-clock per iteration — no
+//! statistical analysis, outlier detection or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, warm_up: Duration::from_millis(100) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, warm_up: self.warm_up };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.report(name, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, warm_up: self.parent.warm_up };
+        for _ in 0..self.parent.sample_size {
+            f(&mut b);
+        }
+        b.report(&format!("{}/{}", self.name, name), self.throughput.as_ref());
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up only on the first sample of a benchmark.
+        if self.iters == 0 {
+            let start = Instant::now();
+            while start.elapsed() < self.warm_up {
+                black_box(f());
+            }
+        }
+        let start = Instant::now();
+        black_box(f());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    fn report(&self, name: &str, throughput: Option<&Throughput>) {
+        if self.iters == 0 {
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        let mut line = format!("{name:<48} {:>12.3} us/iter", per_iter * 1e6);
+        if let Some(Throughput::Elements(n)) = throughput {
+            line.push_str(&format!("  ({:.1} Melem/s)", *n as f64 / per_iter / 1e6));
+        }
+        println!("{line}");
+    }
+}
+
+/// Builds the function named by `name =` that runs every target with
+/// the given config; also accepts the short `(group, targets...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,5 @@
+//! Offline placeholder for `rand`.
+//!
+//! Several manifests in this workspace declare `rand` as a
+//! dev-dependency but no code path uses it; this empty crate satisfies
+//! resolution without network access. See `vendor/README.md`.
