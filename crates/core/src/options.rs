@@ -77,6 +77,18 @@ impl fmt::Display for RefuseReason {
 
 impl std::error::Error for RefuseReason {}
 
+impl dae_ir::CodedError for RefuseReason {
+    fn code(&self) -> &'static str {
+        match self {
+            RefuseReason::NonInlinableCall(_) => "compile.refused.non-inlinable-call",
+            RefuseReason::ControlDependsOnTaskWrites => {
+                "compile.refused.control-depends-on-task-writes"
+            }
+            RefuseReason::NothingToPrefetch => "compile.refused.nothing-to-prefetch",
+        }
+    }
+}
+
 /// Which §5 path produced an access version.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Strategy {

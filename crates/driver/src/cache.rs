@@ -4,7 +4,9 @@
 //! key from [`crate::hash::task_key`] — live in two tiers:
 //!
 //! * an **in-memory LRU** tier holding already-parsed artifacts, bounded
-//!   by [`DriverConfig::mem_capacity`](crate::DriverConfig::mem_capacity);
+//!   by approximate bytes
+//!   ([`DriverConfig::mem_max_bytes`](crate::DriverConfig::mem_max_bytes))
+//!   so a long-running server cannot grow without limit;
 //! * an optional **on-disk** tier (`--cache-dir`): one JSON file per key,
 //!   the function body stored as printed IR and re-parsed on load. Both
 //!   the printer and the generators end in a dense `compact`, so
@@ -249,18 +251,49 @@ impl CacheStats {
     }
 }
 
-/// The bounded in-memory LRU tier.
+/// Approximate in-memory footprint of an artifact, in bytes.
+///
+/// The canonical size of a generated artifact is its printed IR — the
+/// same text the disk tier stores — plus a fixed allowance for the parsed
+/// structure. "Approximate" is the contract: the bound protects a
+/// long-running server from unbounded growth, it is not an allocator
+/// audit.
+pub fn artifact_approx_bytes(artifact: &Artifact) -> usize {
+    const FIXED: usize = 128;
+    match artifact {
+        Artifact::Generated { func, .. } => {
+            // Printed text once on insert; generation itself dwarfs this.
+            FIXED + 2 * print_function(func, None).len()
+        }
+        Artifact::Refused { reason } => {
+            FIXED
+                + match reason {
+                    RefuseReason::NonInlinableCall(name) => name.len(),
+                    _ => 0,
+                }
+        }
+    }
+}
+
+/// The in-memory LRU tier, bounded by **approximate bytes** rather than
+/// entry count so a long-running server's footprint does not scale with
+/// how large the cached functions happen to be.
 struct MemCache {
-    cap: usize,
-    map: HashMap<u64, Artifact>,
+    max_bytes: usize,
+    used_bytes: usize,
+    map: HashMap<u64, (Artifact, usize)>,
     /// Keys from least- to most-recently used.
     order: VecDeque<u64>,
 }
 
 impl MemCache {
-    fn new(cap: usize) -> MemCache {
-        let cap = cap.max(1);
-        MemCache { cap, map: HashMap::new(), order: VecDeque::new() }
+    fn new(max_bytes: usize) -> MemCache {
+        MemCache {
+            max_bytes: max_bytes.max(1),
+            used_bytes: 0,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
     }
 
     fn touch(&mut self, key: u64) {
@@ -271,24 +304,36 @@ impl MemCache {
     }
 
     fn get(&mut self, key: u64) -> Option<Artifact> {
-        let hit = self.map.get(&key).cloned();
+        let hit = self.map.get(&key).map(|(a, _)| a.clone());
         if hit.is_some() {
             self.touch(key);
         }
         hit
     }
 
-    /// Inserts and returns the number of evictions it forced (0 or 1).
+    /// Inserts and returns the number of evictions it forced. The entry
+    /// just inserted is never its own victim — a single artifact larger
+    /// than the whole budget still caches (as the only resident entry).
     fn insert(&mut self, key: u64, artifact: Artifact) -> u64 {
-        self.map.insert(key, artifact);
-        self.touch(key);
-        if self.map.len() > self.cap {
-            if let Some(victim) = self.order.pop_front() {
-                self.map.remove(&victim);
-                return 1;
-            }
+        let bytes = artifact_approx_bytes(&artifact);
+        if let Some((_, old)) = self.map.insert(key, (artifact, bytes)) {
+            self.used_bytes -= old;
         }
-        0
+        self.used_bytes += bytes;
+        self.touch(key);
+        let mut evicted = 0;
+        while self.used_bytes > self.max_bytes && self.order.len() > 1 {
+            let victim = self.order.pop_front().expect("len > 1");
+            if let Some((_, vb)) = self.map.remove(&victim) {
+                self.used_bytes -= vb;
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.used_bytes
     }
 }
 
@@ -300,14 +345,19 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// A cache with an in-memory tier of `mem_capacity` artifacts and an
-    /// optional on-disk tier rooted at `dir`.
-    pub fn new(mem_capacity: usize, dir: Option<&Path>) -> Cache {
+    /// A cache with an in-memory tier of at most `mem_max_bytes`
+    /// approximate bytes and an optional on-disk tier rooted at `dir`.
+    pub fn new(mem_max_bytes: usize, dir: Option<&Path>) -> Cache {
         Cache {
-            mem: MemCache::new(mem_capacity),
+            mem: MemCache::new(mem_max_bytes),
             dir: dir.map(Path::to_path_buf),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Approximate bytes currently held by the in-memory tier.
+    pub fn mem_used_bytes(&self) -> usize {
+        self.mem.used_bytes()
     }
 
     fn artifact_path(dir: &Path, key: u64) -> PathBuf {
@@ -410,8 +460,10 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut c = Cache::new(2, None);
         let a = || Artifact::Refused { reason: RefuseReason::NothingToPrefetch };
+        // A refusal is ~128 approximate bytes; budget exactly two of them.
+        let two = 2 * artifact_approx_bytes(&a());
+        let mut c = Cache::new(two, None);
         c.insert(1, a());
         c.insert(2, a());
         assert!(c.lookup(1).is_some(), "refresh key 1");
@@ -421,6 +473,40 @@ mod tests {
         assert!(c.lookup(2).is_none());
         let s = c.stats();
         assert_eq!((s.mem_hits, s.misses, s.evictions), (3, 1, 1));
+        assert!(c.mem_used_bytes() <= two);
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_memory_tier() {
+        let g = generated_artifact();
+        let bytes = artifact_approx_bytes(&g);
+        assert!(bytes > 128, "generated artifacts account their printed IR");
+        // Budget for ~3 generated artifacts: inserting 10 distinct keys
+        // keeps usage under the budget and evicts the rest.
+        let mut c = Cache::new(3 * bytes, None);
+        for key in 0..10u64 {
+            c.insert(key, g.clone());
+        }
+        assert!(c.mem_used_bytes() <= 3 * bytes);
+        assert_eq!(c.stats().evictions, 7);
+        // Most-recent keys survive; oldest were evicted.
+        assert!(c.lookup(9).is_some());
+        assert!(c.lookup(0).is_none());
+        // Re-inserting an existing key replaces, never double-counts.
+        let used = c.mem_used_bytes();
+        c.insert(9, g.clone());
+        assert_eq!(c.mem_used_bytes(), used);
+    }
+
+    #[test]
+    fn oversized_artifact_still_caches_alone() {
+        let g = generated_artifact();
+        let mut c = Cache::new(1, None); // 1-byte budget: everything oversized
+        c.insert(1, g.clone());
+        assert!(c.lookup(1).is_some(), "sole entry is never its own victim");
+        c.insert(2, g);
+        assert!(c.lookup(2).is_some());
+        assert!(c.lookup(1).is_none(), "second insert evicts the first");
     }
 
     #[test]
@@ -429,11 +515,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let key = 0xfeed_beef_u64;
         {
-            let mut c = Cache::new(4, Some(&dir));
+            let mut c = Cache::new(64 << 10, Some(&dir));
             c.insert(key, generated_artifact());
             assert_eq!(c.stats().disk_writes, 1);
         }
-        let mut c = Cache::new(4, Some(&dir));
+        let mut c = Cache::new(64 << 10, Some(&dir));
         match c.lookup(key) {
             Some(Artifact::Generated { info, .. }) => assert_eq!(info.total_loads, 1),
             other => panic!("expected generated artifact, got {other:?}"),

@@ -39,13 +39,14 @@ pub struct DriverConfig {
     pub jobs: usize,
     /// Root of the on-disk cache tier; `None` disables it.
     pub cache_dir: Option<PathBuf>,
-    /// Capacity (in artifacts) of the in-memory cache tier.
-    pub mem_capacity: usize,
+    /// Byte budget (approximate) of the in-memory cache tier. Exposed on
+    /// the CLIs as `--cache-max-mb`.
+    pub mem_max_bytes: usize,
 }
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { jobs: 1, cache_dir: None, mem_capacity: 256 }
+        DriverConfig { jobs: 1, cache_dir: None, mem_max_bytes: 64 << 20 }
     }
 }
 
@@ -95,7 +96,7 @@ impl Driver {
     pub fn with_pipeline(pipeline: Pipeline, config: &DriverConfig) -> Driver {
         Driver {
             pipeline,
-            cache: Cache::new(config.mem_capacity, config.cache_dir.as_deref()),
+            cache: Cache::new(config.mem_max_bytes, config.cache_dir.as_deref()),
             jobs: config.jobs.max(1),
         }
     }
@@ -108,6 +109,11 @@ impl Driver {
     /// Cache counters accumulated over the driver's lifetime.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Approximate bytes currently held by the in-memory cache tier.
+    pub fn cache_mem_used_bytes(&self) -> usize {
+        self.cache.mem_used_bytes()
     }
 
     /// Compiles every task in `module`, adding the generated access

@@ -1,0 +1,56 @@
+//! The workspace-wide error contract.
+//!
+//! Every fallible layer (parsing, verification, compilation, simulation)
+//! exposes its failures as ordinary `std::error::Error` types. This module
+//! adds the one extra guarantee network-facing consumers need: a **stable,
+//! machine-readable error-code string** per failure class, so a server can
+//! put `{"code": "ir.parse", "message": …}` on the wire instead of
+//! stringified `Debug` output, and clients can dispatch on `code` without
+//! parsing prose.
+//!
+//! Codes are dotted paths, `<layer>.<class>`, e.g. `ir.parse`,
+//! `compile.refused.non-inlinable-call`, `sim.trap`. They are part of the
+//! serving protocol's compatibility surface: renaming one is a breaking
+//! change, adding one is not. Zero-dependency crates that cannot see this
+//! trait (`dae-poly`, `dae-trace`) expose the same contract as an inherent
+//! `code()` method with codes from the same namespace.
+
+/// An error with a stable machine-readable code.
+///
+/// Implementors must keep each variant's code string stable across
+/// releases; messages (the `Display` text) may change freely.
+pub trait CodedError: std::error::Error {
+    /// The stable dotted error code, e.g. `"ir.parse"`.
+    fn code(&self) -> &'static str;
+}
+
+impl CodedError for crate::parse::ParseError {
+    fn code(&self) -> &'static str {
+        "ir.parse"
+    }
+}
+
+impl CodedError for crate::verify::VerifyError {
+    fn code(&self) -> &'static str {
+        "ir.verify"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::ParseError;
+    use crate::verify::VerifyError;
+
+    #[test]
+    fn ir_errors_carry_stable_codes() {
+        let p = ParseError { line: 3, message: "bad token".into() };
+        assert_eq!(p.code(), "ir.parse");
+        let v = VerifyError { func: "f".into(), message: "unterminated block".into() };
+        assert_eq!(v.code(), "ir.verify");
+        // The trait is usable through a dyn reference.
+        let as_dyn: &dyn CodedError = &p;
+        assert_eq!(as_dyn.code(), "ir.parse");
+        assert!(as_dyn.to_string().contains("line 3"));
+    }
+}

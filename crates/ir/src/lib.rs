@@ -46,6 +46,7 @@
 pub mod entity;
 pub mod builder;
 pub mod dot;
+pub mod error;
 pub mod function;
 pub mod inst;
 pub mod module;
@@ -57,6 +58,7 @@ pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use dot::cfg_to_dot;
+pub use error::CodedError;
 pub use function::{BlockData, Function, InstData};
 pub use inst::{BinOp, BlockCall, CmpOp, InstKind, Terminator, UnOp};
 pub use module::{GlobalData, GlobalInit, Module};

@@ -56,6 +56,14 @@ impl std::fmt::Display for Unbounded {
 
 impl std::error::Error for Unbounded {}
 
+impl Unbounded {
+    /// Stable machine-readable error code (the zero-dependency mirror of
+    /// `dae_ir::CodedError`, same `<layer>.<class>` namespace).
+    pub fn code(&self) -> &'static str {
+        "poly.unbounded"
+    }
+}
+
 /// A convex polyhedron `{ x | A·x + B·n + c >= 0, E·x + F·n + g == 0 }`
 /// over [`Space`] variables `x` (dims) and parameters `n`.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -131,6 +131,11 @@ pub struct RuntimeConfig {
     /// Fixed per-task runtime overhead in seconds (queue operations,
     /// scheduling) — part of the O.S.I. accounting.
     pub task_overhead_s: f64,
+    /// Dynamic-instruction budget per simulated phase, forwarded to the
+    /// interpreter. The default is effectively unbounded for honest
+    /// workloads; services running untrusted IR lower it so a hostile
+    /// infinite loop burns virtual time, not wall-clock time.
+    pub max_steps: u64,
 }
 
 impl RuntimeConfig {
@@ -146,7 +151,14 @@ impl RuntimeConfig {
             dvfs: DvfsConfig::latency_500ns(),
             policy: FreqPolicy::CoupledMax,
             task_overhead_s: 150e-9,
+            max_steps: 2_000_000_000,
         }
+    }
+
+    /// Same machine with a different per-phase instruction budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
     }
 
     /// Same machine with a different policy.

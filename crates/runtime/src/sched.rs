@@ -160,6 +160,7 @@ fn run_scheduler(
     sink: &mut dyn TraceSink,
 ) -> Result<RunReport, InterpError> {
     let mut machine = Machine::new(module);
+    machine.config.max_steps = cfg.max_steps;
     let mut llc = SharedLlc::new(cfg.hierarchy.llc);
     let mut cores: Vec<CoreState> = (0..cfg.cores)
         .map(|_| CoreState {

@@ -1,0 +1,571 @@
+//! The execution engine: untrusted IR text in, deterministic JSON out.
+//!
+//! One [`Engine`] is shared by every worker thread. It owns the one
+//! [`dae_driver::Driver`] — and therefore the one content-addressed
+//! incremental cache — so identical programs submitted by *different*
+//! clients replay each other's compiles. Compilation runs under the driver
+//! mutex (cheap when warm); simulation, the expensive part of a `run`
+//! request, runs outside any lock.
+//!
+//! # Hardening
+//!
+//! The IR text is attacker-controlled, so the engine refuses before it
+//! allocates: module global data is capped ([`EngineConfig::max_global_bytes`])
+//! because the simulator materialises every global as a flat byte vector.
+//! Runaway programs hit the interpreter's own step limit (`sim.step-limit`).
+//! Any residual panic is caught at [`Engine::handle`]'s boundary and
+//! becomes a `serve.internal` error response; the worker, the driver and
+//! the cache all survive.
+//!
+//! # Determinism
+//!
+//! Successful responses contain only content-derived data: printed IR,
+//! strategy reports, and virtual-time run reports. Cache temperature,
+//! worker count and queue state are deliberately invisible — the bytes for
+//! a given request are identical cold or warm, which is what the e2e suite
+//! checks against a fresh single-use engine.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use dae_core::{CompilerOptions, Strategy};
+use dae_driver::{Driver, DriverConfig, Fnv64};
+use dae_ir::{parse::parse_module, print_module, verify_module, FuncId, Function, Module};
+use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
+use dae_sim::Val;
+use dae_trace::json::JsonValue;
+
+use crate::proto::{codes, ErrorBody, Op, Request};
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Driver configuration (cache directory, in-memory byte budget).
+    /// `jobs` is forced to 1: parallelism comes from concurrent requests,
+    /// not from fan-out inside one compile.
+    pub driver: DriverConfig,
+    /// Upper bound on a module's total global data, in bytes. The
+    /// simulator allocates globals eagerly, so this is the lever that
+    /// keeps a hostile `global huge[9e18]` from becoming an OOM.
+    pub max_global_bytes: u64,
+    /// Byte budget (approximate) of the response cache. Responses are
+    /// pure functions of the request, so a repeated request is answered
+    /// from here without even re-parsing the IR.
+    pub resp_max_bytes: usize,
+    /// Dynamic-instruction budget per simulated phase. Untrusted IR can
+    /// loop forever in virtual time; this converts a hostile spin into a
+    /// prompt `sim.step-limit` error instead of a captive worker. The
+    /// default leaves honest workloads three orders of magnitude of
+    /// headroom.
+    pub max_steps: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            driver: DriverConfig::default(),
+            max_global_bytes: 256 << 20,
+            resp_max_bytes: 32 << 20,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// The shared compile-and-simulate executor behind every worker.
+pub struct Engine {
+    driver: Mutex<Driver>,
+    resp: Mutex<ResponseCache>,
+    max_global_bytes: u64,
+    max_steps: u64,
+}
+
+impl Engine {
+    /// An engine with a fresh driver (and therefore a cold cache).
+    pub fn new(config: &EngineConfig) -> Engine {
+        let driver_cfg = DriverConfig { jobs: 1, ..config.driver.clone() };
+        Engine {
+            driver: Mutex::new(Driver::new(&driver_cfg)),
+            resp: Mutex::new(ResponseCache::new(config.resp_max_bytes)),
+            max_global_bytes: config.max_global_bytes,
+            max_steps: config.max_steps,
+        }
+    }
+
+    /// Handles one work request end to end. Never panics: layer errors
+    /// come back as their stable codes, panics as [`codes::INTERNAL`].
+    ///
+    /// Convenience wrapper over [`Engine::handle_raw`] for callers that
+    /// want a structured result; the hot serving path uses the raw form.
+    pub fn handle(&self, req: &Request) -> Result<JsonValue, ErrorBody> {
+        self.handle_raw(req)
+            .map(|s| dae_trace::json::parse(&s).expect("cached responses are canonical JSON"))
+    }
+
+    /// Handles one work request, returning the `result` object already
+    /// serialised.
+    ///
+    /// Successful responses are pure functions of the request (that is
+    /// the protocol's determinism contract), so their bytes are memoised:
+    /// a byte-identical request — whoever sends it — is answered from the
+    /// response cache without re-parsing the IR or re-printing the JSON.
+    pub fn handle_raw(&self, req: &Request) -> Result<Arc<String>, ErrorBody> {
+        let key = request_key(req);
+        if let Some(result) = lock(&self.resp).get(key) {
+            return Ok(result);
+        }
+        self.miss(req, key)
+    }
+
+    /// Response-cache-only lookup, for the server's reader-thread fast
+    /// path: a hit is counted and LRU-touched, a miss is *not* counted
+    /// (the request proceeds to a worker, whose [`Engine::handle_raw`]
+    /// call counts it exactly once).
+    pub fn cached_response(&self, req: &Request) -> Option<Arc<String>> {
+        lock(&self.resp).peek(request_key(req))
+    }
+
+    fn miss(&self, req: &Request, key: u64) -> Result<Arc<String>, ErrorBody> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(req)));
+        match outcome {
+            Ok(Ok(result)) => {
+                let bytes = Arc::new(result.to_json_string());
+                lock(&self.resp).insert(key, &bytes);
+                Ok(bytes)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                let what = panic_message(&payload);
+                Err(ErrorBody::new(codes::INTERNAL, format!("handler panicked: {what}")))
+            }
+        }
+    }
+
+    /// Lifetime cache counters and memory-tier occupancy, for `stats`.
+    pub fn cache_json(&self) -> JsonValue {
+        let (resp_hits, resp_misses, resp_used) = {
+            let r = lock(&self.resp);
+            (r.hits, r.misses, r.used_bytes)
+        };
+        let driver = self.lock_driver();
+        let s = driver.cache_stats();
+        JsonValue::obj([
+            ("mem_hits", s.mem_hits.into()),
+            ("disk_hits", s.disk_hits.into()),
+            ("misses", s.misses.into()),
+            ("evictions", s.evictions.into()),
+            ("mem_used_bytes", driver.cache_mem_used_bytes().into()),
+            ("resp_hits", resp_hits.into()),
+            ("resp_misses", resp_misses.into()),
+            ("resp_used_bytes", resp_used.into()),
+        ])
+    }
+
+    fn dispatch(&self, req: &Request) -> Result<JsonValue, ErrorBody> {
+        let (module, map_json) = self.compile(req)?;
+        match req.op {
+            Op::Compile => Ok(map_json.compile_result(&module)),
+            Op::Report => Ok(map_json.report_result(&module)),
+            Op::Run => self.run(req, &module, &map_json),
+            // Control ops never reach the engine.
+            Op::Stats | Op::Health | Op::Shutdown => {
+                Err(ErrorBody::new(codes::BAD_REQUEST, "control op routed to a worker"))
+            }
+        }
+    }
+
+    /// Parses, verifies, caps and compiles the module.
+    fn compile(&self, req: &Request) -> Result<(Module, Compiled), ErrorBody> {
+        let mut module = parse_module(&req.ir).map_err(|e| ErrorBody::from_coded(&e))?;
+        verify_module(&module).map_err(|e| ErrorBody::from_coded(&e))?;
+        let mut global_bytes: u64 = 0;
+        for (_, g) in module.globals() {
+            global_bytes = global_bytes.saturating_add(g.size_bytes());
+        }
+        if global_bytes > self.max_global_bytes {
+            return Err(ErrorBody::new(
+                codes::MODULE_TOO_LARGE,
+                format!(
+                    "module declares {global_bytes} bytes of global data, limit {}",
+                    self.max_global_bytes
+                ),
+            ));
+        }
+        let tasks = module.task_ids();
+        if tasks.is_empty() {
+            return Err(ErrorBody::new(codes::BAD_REQUEST, "module contains no `task fn`"));
+        }
+        let hints = req.hints.clone();
+        let outcome = {
+            let mut driver = self.lock_driver();
+            driver.compile(&mut module, |_, f: &Function| CompilerOptions {
+                param_hints: if hints.len() == f.params.len() {
+                    hints.clone()
+                } else {
+                    vec![0; f.params.len()]
+                },
+                ..CompilerOptions::default()
+            })
+        };
+        verify_module(&module).map_err(|e| ErrorBody::from_coded(&e))?;
+        Ok((module, Compiled { tasks, outcome }))
+    }
+
+    fn run(&self, req: &Request, module: &Module, c: &Compiled) -> Result<JsonValue, ErrorBody> {
+        let base = RuntimeConfig::paper_default().with_max_steps(self.max_steps);
+        let policy = match &req.policy {
+            None => FreqPolicy::DaeOptimal,
+            Some(spec) => FreqPolicy::parse(spec, &base.table)
+                .map_err(|msg| ErrorBody::new(codes::BAD_REQUEST, msg))?,
+        };
+        // Per-task comparison: coupled baseline at fmax vs decoupled under
+        // the requested policy — the service twin of `daec --run`.
+        let mut per_task = Vec::with_capacity(c.tasks.len());
+        for &task in &c.tasks {
+            let f = module.func(task);
+            let argv = argv_for(f, &req.hints);
+            let cae = vec![TaskInstance::coupled(task, argv.clone())];
+            let r1 = run_workload(module, &cae, &base).map_err(|e| ErrorBody::from_coded(&e))?;
+            let mut entry = vec![
+                ("task".to_string(), JsonValue::from(f.name.as_str())),
+                ("cae".to_string(), headline(&r1)),
+            ];
+            match c.outcome.map.access(task) {
+                Some(access) => {
+                    let dae = vec![TaskInstance::decoupled(task, access, argv)];
+                    let r2 = run_workload(module, &dae, &base.clone().with_policy(policy))
+                        .map_err(|e| ErrorBody::from_coded(&e))?;
+                    entry.push(("dae".to_string(), headline(&r2)));
+                    entry.push((
+                        "edp_delta_percent".to_string(),
+                        ((r2.edp() / r1.edp() - 1.0) * 100.0).into(),
+                    ));
+                }
+                None => entry.push(("dae".to_string(), JsonValue::Null)),
+            }
+            per_task.push(JsonValue::Obj(entry));
+        }
+        // One whole-module run — every task instance, decoupled where an
+        // access phase exists — reported in full (`RunReport::to_json`).
+        // Compile/cache statistics are deliberately not attached: they
+        // vary with cache temperature and the report must not.
+        let insts: Vec<TaskInstance> = c
+            .tasks
+            .iter()
+            .map(|&t| {
+                let argv = argv_for(module.func(t), &req.hints);
+                match c.outcome.map.access(t) {
+                    Some(a) => TaskInstance::decoupled(t, a, argv),
+                    None => TaskInstance::coupled(t, argv),
+                }
+            })
+            .collect();
+        let cfg = base.clone().with_policy(policy);
+        let report = run_workload(module, &insts, &cfg).map_err(|e| ErrorBody::from_coded(&e))?;
+        Ok(JsonValue::obj([
+            ("policy", cfg.policy.label(&cfg.table).into()),
+            ("tasks", JsonValue::Arr(per_task)),
+            ("report", report.to_json()),
+        ]))
+    }
+
+    fn lock_driver(&self) -> std::sync::MutexGuard<'_, Driver> {
+        // A panic inside `handle` is already converted to an error
+        // response; the driver's own state is only ever mutated through
+        // `Cache::insert`, which is atomic per artifact, so recovering the
+        // poisoned lock is safe.
+        self.driver.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Content key of one work request: everything the response depends on.
+/// The `id` is deliberately excluded — it only decorates the envelope.
+fn request_key(req: &Request) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&[req.op as u8]);
+    h.write_str(&req.ir);
+    h.write_u64(req.hints.len() as u64);
+    for &v in &req.hints {
+        h.write_i64(v);
+    }
+    h.write_str(req.policy.as_deref().unwrap_or(""));
+    h.finish()
+}
+
+/// A byte-bounded LRU of memoised, already-serialised `result` objects,
+/// keyed by [`request_key`]. Only successes are cached: errors are cheap
+/// to recompute and must not pin the budget.
+struct ResponseCache {
+    map: HashMap<u64, Arc<String>>,
+    order: VecDeque<u64>,
+    used_bytes: usize,
+    max_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResponseCache {
+    fn new(max_bytes: usize) -> ResponseCache {
+        ResponseCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            used_bytes: 0,
+            max_bytes: max_bytes.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<String>> {
+        let hit = self.peek(key);
+        if hit.is_none() {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Like [`ResponseCache::get`] but a miss is not counted.
+    fn peek(&mut self, key: u64) -> Option<Arc<String>> {
+        match self.map.get(&key) {
+            Some(s) => {
+                let s = Arc::clone(s);
+                self.hits += 1;
+                self.order.retain(|k| *k != key);
+                self.order.push_back(key);
+                Some(s)
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, key: u64, result: &Arc<String>) {
+        if let Some(old) = self.map.insert(key, Arc::clone(result)) {
+            self.used_bytes -= old.len();
+            self.order.retain(|k| *k != key);
+        }
+        self.used_bytes += result.len();
+        self.order.push_back(key);
+        // Evict from the cold end; the sole newest entry never evicts
+        // itself, so one oversized response still caches.
+        while self.used_bytes > self.max_bytes && self.order.len() > 1 {
+            let victim = self.order.pop_front().expect("non-empty");
+            if let Some(s) = self.map.remove(&victim) {
+                self.used_bytes -= s.len();
+            }
+        }
+    }
+}
+
+fn lock(m: &Mutex<ResponseCache>) -> std::sync::MutexGuard<'_, ResponseCache> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A compiled module's task list and driver outcome.
+struct Compiled {
+    tasks: Vec<FuncId>,
+    outcome: dae_driver::CompileOutcome,
+}
+
+impl Compiled {
+    /// `compile` result: the printed module plus deterministic counts.
+    fn compile_result(&self, module: &Module) -> JsonValue {
+        JsonValue::obj([
+            ("module", print_module(module).into()),
+            ("tasks", self.outcome.tasks.into()),
+            ("generated", self.outcome.generated.into()),
+            ("refused", self.outcome.refused.into()),
+        ])
+    }
+
+    /// `report` result: per-task strategy and statistics.
+    fn report_result(&self, module: &Module) -> JsonValue {
+        let map = &self.outcome.map;
+        let tasks: Vec<JsonValue> = self
+            .tasks
+            .iter()
+            .map(|task| {
+                let name = module.func(*task).name.as_str();
+                match map.strategy_of.get(task) {
+                    Some(Strategy::Polyhedral(s)) => JsonValue::obj([
+                        ("task", name.into()),
+                        ("strategy", "polyhedral".into()),
+                        ("n_orig", s.n_orig.into()),
+                        ("n_conv_un", s.n_conv_un.into()),
+                        ("classes", s.classes.into()),
+                        ("nests", s.nests.into()),
+                        ("orig_depth", s.orig_depth.into()),
+                        ("gen_depth", s.gen_depth.into()),
+                    ]),
+                    Some(Strategy::Skeleton) => {
+                        let info = &map.info_of[task];
+                        JsonValue::obj([
+                            ("task", name.into()),
+                            ("strategy", "skeleton".into()),
+                            ("loops_affine", info.loops_affine.into()),
+                            ("loops_total", info.loops_total.into()),
+                            ("total_loads", info.total_loads.into()),
+                            ("non_affine_loads", info.non_affine_loads.into()),
+                        ])
+                    }
+                    None => JsonValue::obj([
+                        ("task", name.into()),
+                        ("strategy", "refused".into()),
+                        ("reason", map.refused[task].to_string().into()),
+                    ]),
+                }
+            })
+            .collect();
+        JsonValue::obj([
+            ("tasks", JsonValue::Arr(tasks)),
+            ("generated", self.outcome.generated.into()),
+            ("refused", self.outcome.refused.into()),
+        ])
+    }
+}
+
+/// Headline metrics of one run: the stable triple every client wants.
+fn headline(r: &dae_runtime::RunReport) -> JsonValue {
+    JsonValue::obj([
+        ("time_s", r.time_s.into()),
+        ("energy_j", r.energy_j.into()),
+        ("edp", r.edp().into()),
+    ])
+}
+
+/// Argument vector for one task invocation: integer hints positionally,
+/// zero elsewhere (mirrors `daec`).
+fn argv_for(f: &Function, hints: &[i64]) -> Vec<Val> {
+    f.params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t {
+            dae_ir::Type::F64 => Val::F(0.0),
+            _ => Val::I(hints.get(i).copied().unwrap_or(0)),
+        })
+        .collect()
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::parse_request;
+
+    const STREAM: &str = "\
+global g0 a : 4096 x f64
+
+task fn stream(arg0: i64) {
+bb0:
+  jump bb1(0)
+bb1(bb1p0: i64):
+  v0: bool = icmp lt bb1p0, 1024
+  br v0, bb2, bb3
+bb2:
+  v1: i64 = iadd arg0, bb1p0
+  v2: i64 = imul v1, 8
+  v3: ptr = ptradd @g0, v2
+  v4: f64 = load v3
+  v5: f64 = fmul v4, 2.0
+  store v3, v5
+  v6: i64 = iadd bb1p0, 1
+  jump bb1(v6)
+bb3:
+  ret
+}
+";
+
+    fn req(json: &str) -> Request {
+        parse_request(json).expect("valid request")
+    }
+
+    fn run_req(op: &str) -> Request {
+        let frame = JsonValue::obj([
+            ("id", 1u64.into()),
+            ("op", op.into()),
+            ("ir", STREAM.into()),
+            ("hints", JsonValue::Arr(vec![64u64.into()])),
+        ]);
+        req(&frame.to_json_string())
+    }
+
+    #[test]
+    fn compile_run_report_share_one_cache_and_stay_deterministic() {
+        let engine = Engine::new(&EngineConfig::default());
+        let cold = engine.handle(&run_req("compile")).unwrap();
+        let warm = engine.handle(&run_req("compile")).unwrap();
+        assert_eq!(
+            cold.to_json_string(),
+            warm.to_json_string(),
+            "cache temperature must be invisible"
+        );
+        assert!(cold.get("module").unwrap().as_str().unwrap().contains("stream__access"));
+        // The warm compile was served from the response cache without
+        // touching the driver again (one artifact miss total).
+        let stats = engine.cache_json();
+        assert_eq!(stats.get("resp_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("resp_misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("mem_hits").unwrap().as_f64(), Some(0.0));
+        assert!(stats.get("resp_used_bytes").unwrap().as_f64().unwrap() > 0.0);
+        // Report + run also answer.
+        let rep = engine.handle(&run_req("report")).unwrap();
+        let t = &rep.get("tasks").unwrap().as_arr().unwrap()[0];
+        assert_eq!(t.get("strategy").unwrap().as_str(), Some("polyhedral"));
+        let run = engine.handle(&run_req("run")).unwrap();
+        assert_eq!(run.get("policy").unwrap().as_str(), Some("dae-optimal"));
+        let per = &run.get("tasks").unwrap().as_arr().unwrap()[0];
+        assert!(per.get("dae").unwrap().get("edp").unwrap().as_f64().unwrap() > 0.0);
+        assert!(run.get("report").unwrap().get("time_s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(run.get("report").unwrap().get("compile").is_none(), "no volatile counters");
+    }
+
+    #[test]
+    fn engine_responses_match_a_fresh_engine_per_request() {
+        let shared = Engine::new(&EngineConfig::default());
+        for op in ["compile", "report", "run"] {
+            let warmup = shared.handle(&run_req(op)).unwrap();
+            let again = shared.handle(&run_req(op)).unwrap();
+            let fresh = Engine::new(&EngineConfig::default()).handle(&run_req(op)).unwrap();
+            assert_eq!(warmup.to_json_string(), fresh.to_json_string(), "op {op} cold == shared");
+            assert_eq!(again.to_json_string(), fresh.to_json_string(), "op {op} warm == cold");
+        }
+    }
+
+    #[test]
+    fn layer_errors_surface_with_stable_codes() {
+        let engine = Engine::new(&EngineConfig::default());
+        let e = engine.handle(&req(r#"{"id":1,"op":"compile","ir":"task fn"}"#)).unwrap_err();
+        assert_eq!(e.code, "ir.parse");
+        let e = engine
+            .handle(&req(r#"{"id":1,"op":"compile","ir":"fn helper() {\nbb0:\n  ret\n}\n"}"#))
+            .unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST, "no tasks");
+        let frame = JsonValue::obj([
+            ("id", 1u64.into()),
+            ("op", "run".into()),
+            ("ir", STREAM.into()),
+            ("policy", "warp-speed".into()),
+        ]);
+        let e = engine.handle(&req(&frame.to_json_string())).unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST, "bad policy");
+    }
+
+    #[test]
+    fn huge_globals_are_refused_before_allocation() {
+        let engine = Engine::new(&EngineConfig::default());
+        let ir = "global g0 big : 9000000000000000 x f64\n\n\
+                  task fn t() {\nbb0:\n  v0: ptr = ptradd @g0, 0\n  store v0, 1.0\n  ret\n}\n";
+        let frame = JsonValue::obj([("id", 1u64.into()), ("op", "run".into()), ("ir", ir.into())]);
+        let e = engine.handle(&req(&frame.to_json_string())).unwrap_err();
+        assert_eq!(e.code, codes::MODULE_TOO_LARGE);
+    }
+}

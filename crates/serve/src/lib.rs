@@ -1,0 +1,56 @@
+//! # dae-serve — the concurrent compile-and-simulate service
+//!
+//! A std-only TCP daemon that accepts untrusted DAE IR text over
+//! newline-delimited JSON and serves five request types: `compile`,
+//! `report`, `run` (the work ops), plus `stats` and `health` (control
+//! ops), with `shutdown` starting a graceful drain. Two binaries ship on
+//! top: `daed` (the daemon) and `dae-load` (a deterministic seeded load
+//! generator producing `BENCH_serve_*.json`).
+//!
+//! The moving parts, one module each:
+//!
+//! * [`proto`] — the wire protocol: framing, request validation, the
+//!   stable `serve.*` error-code vocabulary, and the determinism contract
+//!   (successful response bytes never depend on cache temperature, worker
+//!   count or queue state).
+//! * [`queue`] — the bounded admission queue: full means *shed now* with
+//!   `serve.overloaded`, never buffer-and-pray; closed means *drain*.
+//! * [`engine`] — the shared executor: one `dae-driver` (one incremental
+//!   cache) behind a mutex for compiles, simulation outside any lock,
+//!   input hardening (global-data cap, frame cap, panic containment).
+//! * [`server`] — the daemon: per-connection reader threads, a worker
+//!   pool, per-request deadlines, live metrics, graceful drain on
+//!   `shutdown`/SIGTERM.
+//! * [`metrics`] — counters and log-bucketed latency histograms behind the
+//!   `stats` endpoint.
+//! * [`load`] — the seeded load generator and the multi-worker-count
+//!   benchmark harness.
+//!
+//! # Protocol at a glance
+//!
+//! ```text
+//! $ printf '{"id":1,"op":"health"}\n' | nc 127.0.0.1 7777
+//! {"id":1,"ok":true,"result":{"schema":"dae-serve-health/1","status":"ok"}}
+//! ```
+//!
+//! Work requests carry the IR inline and answer with either a `result`
+//! (printed module, strategy report, or run report in deterministic
+//! virtual time) or a structured `error` with a stable machine-readable
+//! `code` — the server never drops a frame silently and never panics on
+//! adversarial input.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod load;
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig};
+pub use load::{bench_workers, run_load, LoadConfig, LoadReport, Mix};
+pub use metrics::{Metrics, STATS_SCHEMA};
+pub use proto::{codes, ErrorBody, Op, Request, MAX_FRAME_BYTES};
+pub use queue::{Push, Queue};
+pub use server::{install_signal_drain, Server, ServerConfig, HEALTH_SCHEMA};

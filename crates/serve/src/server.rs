@@ -1,0 +1,503 @@
+//! The TCP daemon: accept → admit → execute → respond.
+//!
+//! ```text
+//!            readers (1/conn)        bounded queue        workers (N)
+//!  client ──► parse frame ──► admit ─────────────────► pop → Engine::handle
+//!     ▲         │    │          │ full → overloaded        │
+//!     │         │    │          │ draining → refused       ▼
+//!     └─────────┴────┴──────────┴──────────────── response line (per conn)
+//! ```
+//!
+//! * Each connection gets a **reader thread** that frames newline-delimited
+//!   requests, answers control ops (`stats`, `health`, `shutdown`) inline,
+//!   and pushes work ops onto the shared [`Queue`]. A full queue sheds with
+//!   `serve.overloaded`; a draining queue refuses with `serve.draining`.
+//! * A fixed pool of **worker threads** pops jobs and runs them through the
+//!   one shared [`Engine`] (and thus the one shared incremental cache).
+//!   Responses are written back through a per-connection writer mutex, so
+//!   lines never interleave; `id` is the client's correlation key.
+//! * **Graceful drain** — a `shutdown` request or a SIGTERM/SIGINT (see
+//!   [`install_signal_drain`]) stops the accept loop and closes the queue:
+//!   everything already admitted completes and is answered, everything new
+//!   is refused, and [`Server::run`] returns once the workers have gone
+//!   idle.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dae_trace::json::JsonValue;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::{Metrics, WorkOp};
+use crate::proto::{
+    codes, err_response, ok_response, ok_response_raw, parse_request, ErrorBody, Op, Request,
+    MAX_FRAME_BYTES,
+};
+use crate::queue::{Push, Queue};
+
+/// Schema tag of the `health` result object.
+pub const HEALTH_SCHEMA: &str = "dae-serve-health/1";
+
+/// Daemon construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing work requests.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// Engine (driver cache, global-data cap) configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One admitted work request, en route to a worker.
+struct Job {
+    req: Request,
+    conn: Arc<Conn>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The write half of a connection: one mutex so response lines never
+/// interleave, shared by the reader and every worker holding a job for it.
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Writes one response line. Errors are swallowed: a vanished client
+    /// must not take a worker down with it.
+    fn send(&self, line: &str) {
+        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.write_all(b"\n");
+        let _ = s.flush();
+    }
+}
+
+/// The daemon: a bound listener plus the shared state every thread sees.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    metrics: Arc<Metrics>,
+    queue: Arc<Queue<Job>>,
+    drain: Arc<AtomicBool>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener; the accept loop starts with [`Server::run`].
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(Engine::new(&config.engine)),
+            metrics: Arc::new(Metrics::new()),
+            queue: Arc::new(Queue::new(config.queue_depth)),
+            drain: Arc::new(AtomicBool::new(false)),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain flag: set it (from any thread) to begin a graceful
+    /// shutdown, exactly as a `shutdown` request would.
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Serves until a drain is requested, then completes all admitted work
+    /// and returns. Reader threads are detached — they die with their
+    /// connections — but every worker is joined, so when `run` returns
+    /// every admitted request has been answered.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| self.worker_loop());
+            }
+            while !self.draining() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // Frames are small and latency-sensitive: without
+                        // this, Nagle + delayed ACK adds ~40 ms per
+                        // request/response round trip.
+                        let _ = stream.set_nodelay(true);
+                        let engine = Arc::clone(&self.engine);
+                        let metrics = Arc::clone(&self.metrics);
+                        let queue = Arc::clone(&self.queue);
+                        let drain = Arc::clone(&self.drain);
+                        let workers = self.workers;
+                        std::thread::spawn(move || {
+                            reader_loop(stream, engine, metrics, queue, drain, workers);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            self.drain.store(true, Ordering::SeqCst);
+            self.queue.close();
+            // Scope exit joins the workers: the queue drains completely.
+        });
+        Ok(())
+    }
+
+    fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst) || signal_drain_requested()
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            let waited = job.admitted.elapsed();
+            if let Some(deadline) = job.deadline {
+                if Instant::now() > deadline {
+                    self.metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    let e = ErrorBody::new(
+                        codes::DEADLINE,
+                        format!("deadline of {} ms expired in the queue", job.req.deadline_ms),
+                    );
+                    job.conn.send(&err_response(&job.req.id, &e));
+                    continue;
+                }
+            }
+            let line = match self.engine.handle_raw(&job.req) {
+                Ok(result) => {
+                    self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    ok_response_raw(&job.req.id, &result)
+                }
+                Err(e) => {
+                    let counter = if e.code == codes::INTERNAL {
+                        &self.metrics.internal_errors
+                    } else {
+                        &self.metrics.failed
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    err_response(&job.req.id, &e)
+                }
+            };
+            job.conn.send(&line);
+            let op = match job.req.op {
+                Op::Compile => WorkOp::Compile,
+                Op::Report => WorkOp::Report,
+                _ => WorkOp::Run,
+            };
+            self.metrics.record(op, waited, job.admitted.elapsed());
+        }
+    }
+}
+
+/// Frames newline-delimited requests off one connection until EOF.
+fn reader_loop(
+    stream: TcpStream,
+    engine: Arc<Engine>,
+    metrics: Arc<Metrics>,
+    queue: Arc<Queue<Job>>,
+    drain: Arc<AtomicBool>,
+    workers: usize,
+) {
+    // The timeout keeps the reader responsive to client death even when
+    // the client never sends another byte.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let conn = match stream.try_clone() {
+        Ok(w) => Arc::new(Conn { stream: Mutex::new(w) }),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain complete frames out of the buffer first.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&frame[..nl]);
+            let line = line.trim();
+            if !line.is_empty() {
+                handle_frame(line, &conn, &engine, &metrics, &queue, &drain, workers);
+            }
+        }
+        // A line longer than the frame cap can never complete: answer once
+        // and drop the connection, because framing is lost.
+        if buf.len() > MAX_FRAME_BYTES {
+            metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let e = ErrorBody::new(
+                codes::TOO_LARGE,
+                format!("frame exceeds {MAX_FRAME_BYTES} bytes before its newline"),
+            );
+            conn.send(&err_response(&JsonValue::Null, &e));
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF: client closed its write half.
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed frame: control ops inline, work ops into the queue.
+fn handle_frame(
+    line: &str,
+    conn: &Arc<Conn>,
+    engine: &Engine,
+    metrics: &Metrics,
+    queue: &Queue<Job>,
+    drain: &AtomicBool,
+    workers: usize,
+) {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err((id, e)) => {
+            metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            conn.send(&err_response(&id, &e));
+            return;
+        }
+    };
+    match req.op {
+        Op::Stats => {
+            let body = metrics.to_json(queue.len(), workers, engine.cache_json());
+            conn.send(&ok_response(&req.id, body));
+        }
+        Op::Health => {
+            let draining = drain.load(Ordering::SeqCst) || queue.is_closed();
+            let body = JsonValue::obj([
+                ("schema", HEALTH_SCHEMA.into()),
+                ("status", if draining { "draining" } else { "ok" }.into()),
+            ]);
+            conn.send(&ok_response(&req.id, body));
+        }
+        Op::Shutdown => {
+            // Answer first: the drain may outlive the client's patience.
+            conn.send(&ok_response(&req.id, JsonValue::obj([("draining", true.into())])));
+            drain.store(true, Ordering::SeqCst);
+            queue.close();
+        }
+        Op::Compile | Op::Report | Op::Run => {
+            // Fast path: a response-cache hit is answered here on the
+            // reader thread — the queue hop (two context switches on a
+            // small machine) is only paid by requests that need work.
+            // Drain still wins: once the queue is closed, new work is
+            // refused uniformly, warm or not.
+            if !queue.is_closed() && !drain.load(Ordering::SeqCst) {
+                if let Some(result) = engine.cached_response(&req) {
+                    let t0 = Instant::now();
+                    metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                    metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    conn.send(&ok_response_raw(&req.id, &result));
+                    let op = match req.op {
+                        Op::Compile => WorkOp::Compile,
+                        Op::Report => WorkOp::Report,
+                        _ => WorkOp::Run,
+                    };
+                    metrics.record(op, Duration::ZERO, t0.elapsed());
+                    return;
+                }
+            }
+            let deadline = (req.deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(req.deadline_ms));
+            let job = Job { req, conn: Arc::clone(conn), admitted: Instant::now(), deadline };
+            match queue.push(job) {
+                Push::Queued => {
+                    metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Push::Full(job) => {
+                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    let e = ErrorBody::new(
+                        codes::OVERLOADED,
+                        format!("admission queue full ({} deep); retry later", queue.capacity()),
+                    );
+                    job.conn.send(&err_response(&job.req.id, &e));
+                }
+                Push::Closed(job) => {
+                    metrics.refused_draining.fetch_add(1, Ordering::Relaxed);
+                    let e = ErrorBody::new(codes::DRAINING, "server is draining");
+                    job.conn.send(&err_response(&job.req.id, &e));
+                }
+            }
+        }
+    }
+}
+
+static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// True once a SIGTERM/SIGINT arrived after [`install_signal_drain`].
+pub fn signal_drain_requested() -> bool {
+    SIGNAL_DRAIN.load(Ordering::SeqCst)
+}
+
+/// Routes SIGTERM and SIGINT into the drain path: the accept loop notices
+/// within one poll interval and begins the same graceful drain a
+/// `shutdown` request would. `std` already links the platform C runtime,
+/// so plain `signal(2)` is declared directly rather than through a crate.
+#[cfg(unix)]
+pub fn install_signal_drain() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNAL_DRAIN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// No-op off Unix; a `shutdown` request still drains gracefully.
+#[cfg(not(unix))]
+pub fn install_signal_drain() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    const STREAM: &str = "global g0 a : 1024 x f64\n\ntask fn s(arg0: i64) {\nbb0:\n  jump bb1(0)\nbb1(bb1p0: i64):\n  v0: bool = icmp lt bb1p0, arg0\n  br v0, bb2, bb3\nbb2:\n  v1: i64 = imul bb1p0, 8\n  v2: ptr = ptradd @g0, v1\n  v3: f64 = load v2\n  v4: f64 = fmul v3, 2.0\n  store v2, v4\n  v5: i64 = iadd bb1p0, 1\n  jump bb1(v5)\nbb3:\n  ret\n}\n";
+
+    fn start(
+        workers: usize,
+        queue_depth: usize,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&ServerConfig { workers, queue_depth, ..Default::default() })
+            .expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        (addr, handle)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, frame: &JsonValue) -> JsonValue {
+        let mut line = frame.to_json_string();
+        line.push('\n');
+        stream.write_all(line.as_bytes()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        dae_trace::json::parse(&resp).expect("valid response JSON")
+    }
+
+    fn work_frame(id: u64, op: &str) -> JsonValue {
+        JsonValue::obj([
+            ("id", id.into()),
+            ("op", op.into()),
+            ("ir", STREAM.into()),
+            ("hints", JsonValue::Arr(vec![32u64.into()])),
+        ])
+    }
+
+    #[test]
+    fn serves_work_control_and_drain_over_tcp() {
+        let (addr, handle) = start(2, 16);
+        let mut c = TcpStream::connect(addr).unwrap();
+        // Health, then a compile, then stats reflecting it.
+        let h = roundtrip(&mut c, &JsonValue::obj([("id", 1u64.into()), ("op", "health".into())]));
+        assert_eq!(h.get("result").unwrap().get("status").unwrap().as_str(), Some("ok"));
+        let r = roundtrip(&mut c, &work_frame(2, "compile"));
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert!(r
+            .get("result")
+            .unwrap()
+            .get("module")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("s__access"));
+        // A second client compiles the same program: the shared cache hits.
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        let r2 = roundtrip(&mut c2, &work_frame(3, "compile"));
+        assert_eq!(
+            r2.get("result").unwrap().to_json_string(),
+            r.get("result").unwrap().to_json_string(),
+            "identical program, identical bytes"
+        );
+        let s = roundtrip(&mut c, &JsonValue::obj([("id", 4u64.into()), ("op", "stats".into())]));
+        let cache = s.get("result").unwrap().get("cache").unwrap();
+        assert_eq!(cache.get("resp_hits").unwrap().as_f64(), Some(1.0));
+        // Malformed frames answer without killing the connection.
+        c.write_all(b"{broken\n").unwrap();
+        let mut reader = std::io::BufReader::new(c.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let v = dae_trace::json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().get("code").unwrap().as_str(), Some("json.parse"));
+        // Shutdown drains; the server thread exits; new connects fail.
+        let d =
+            roundtrip(&mut c, &JsonValue::obj([("id", 9u64.into()), ("op", "shutdown".into())]));
+        assert_eq!(d.get("result").unwrap().get("draining").unwrap().as_bool(), Some(true));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_not_executed() {
+        let (addr, handle) = start(1, 8);
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut frame = work_frame(1, "run");
+        if let JsonValue::Obj(pairs) = &mut frame {
+            pairs.push(("deadline_ms".to_string(), JsonValue::Num(0.0)));
+        }
+        // deadline_ms 0 means none; use an already-tiny deadline by
+        // saturating the single worker first with a slow request.
+        let slow = work_frame(2, "run");
+        let mut line = slow.to_json_string();
+        line.push('\n');
+        c.write_all(line.as_bytes()).unwrap();
+        let mut tight = work_frame(3, "run");
+        if let JsonValue::Obj(pairs) = &mut tight {
+            pairs.push(("deadline_ms".to_string(), JsonValue::Num(1.0)));
+        }
+        let mut line = tight.to_json_string();
+        line.push('\n');
+        c.write_all(line.as_bytes()).unwrap();
+        // Read both responses; find id 3.
+        let mut reader = std::io::BufReader::new(c.try_clone().unwrap());
+        let mut saw_deadline_or_ok = 0;
+        for _ in 0..2 {
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            let v = dae_trace::json::parse(&resp).unwrap();
+            if v.get("id").unwrap().as_f64() == Some(3.0) {
+                // Either the worker got to it in time (ok) or the deadline
+                // fired; both are valid — what is *not* valid is silence
+                // or a crash.
+                let ok = v.get("ok").unwrap().as_bool().unwrap();
+                if !ok {
+                    assert_eq!(
+                        v.get("error").unwrap().get("code").unwrap().as_str(),
+                        Some(codes::DEADLINE)
+                    );
+                }
+                saw_deadline_or_ok += 1;
+            }
+        }
+        assert_eq!(saw_deadline_or_ok, 1);
+        let _ =
+            roundtrip(&mut c, &JsonValue::obj([("id", 9u64.into()), ("op", "shutdown".into())]));
+        handle.join().unwrap();
+    }
+}

@@ -57,6 +57,17 @@ impl fmt::Display for InterpError {
 
 impl std::error::Error for InterpError {}
 
+impl dae_ir::CodedError for InterpError {
+    fn code(&self) -> &'static str {
+        match self {
+            InterpError::StepLimit => "sim.step-limit",
+            InterpError::Trap(_) => "sim.trap",
+            InterpError::TypeMismatch { .. } => "sim.type-mismatch",
+            InterpError::LoadVoid => "sim.load-void",
+        }
+    }
+}
+
 impl From<TypeError> for InterpError {
     fn from(e: TypeError) -> Self {
         match e {

@@ -45,6 +45,15 @@ impl std::fmt::Display for TypeError {
 
 impl std::error::Error for TypeError {}
 
+impl dae_ir::CodedError for TypeError {
+    fn code(&self) -> &'static str {
+        match self {
+            TypeError::Mismatch { .. } => "sim.type-mismatch",
+            TypeError::LoadVoid => "sim.load-void",
+        }
+    }
+}
+
 impl Val {
     /// The name of this value's payload kind.
     pub fn kind(self) -> &'static str {

@@ -208,10 +208,24 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+impl JsonError {
+    /// Stable machine-readable error code (the zero-dependency mirror of
+    /// `dae_ir::CodedError`, same `<layer>.<class>` namespace).
+    pub fn code(&self) -> &'static str {
+        "json.parse"
+    }
+}
+
+/// Maximum container nesting depth [`parse`] accepts. The parser is
+/// recursive-descent, so without a bound an adversarial `[[[[…` frame
+/// would overflow the stack — an uncatchable abort, not an `Err`.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses `text` as a single JSON value (trailing whitespace allowed,
-/// trailing garbage is an error).
+/// trailing garbage is an error). Containers nested deeper than
+/// [`MAX_DEPTH`] are rejected with an error.
 pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -224,6 +238,7 @@ pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -272,12 +287,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("containers nested too deeply"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(pairs));
         }
         loop {
@@ -293,6 +318,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(pairs));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -302,10 +328,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -316,6 +344,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -464,6 +493,22 @@ mod tests {
         assert!(parse(r#"{"a" 1}"#).is_err());
         let e = parse("nulL").unwrap_err();
         assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(200_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.msg.contains("nested too deeply"), "{e}");
+        let mut ok = "[[[[[[[[".to_string();
+        ok.push('1');
+        ok.push_str(&"]".repeat(8));
+        assert!(parse(&ok).is_ok(), "shallow nesting still parses");
+        // Exactly at the limit parses; one past fails.
+        let at = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at).is_ok());
+        let past = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&past).is_err());
     }
 
     #[test]

@@ -53,9 +53,11 @@
 
 pub mod chrome;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod sink;
 pub mod summary;
 
 pub use event::{PhaseCounters, PhaseKind, TraceEvent};
+pub use hist::LogHistogram;
 pub use sink::{NullSink, Recorder, TraceSink};

@@ -1,0 +1,200 @@
+//! `dae-load` — deterministic seeded load generator for `daed`.
+//!
+//! Replays a reproducible request mix (see `dae_serve::load`) and writes a
+//! `BENCH_serve_*.json` report with throughput and latency percentiles.
+//!
+//! ```text
+//! dae-load [--addr HOST:PORT] [--requests N] [--clients N] [--seed S]
+//!          [--mix compile|run|mixed] [--workers 1,2,8] [--trials N]
+//!          [--out <file>] [--allow-shed]
+//! ```
+//!
+//! Two modes:
+//!
+//! * **`--addr`** — drive an already-running daemon; writes
+//!   `BENCH_serve_load.json`. Exits non-zero if any request failed or was
+//!   shed (pass `--allow-shed` when overload is the point).
+//! * **no `--addr`** — the self-contained benchmark: an in-process server
+//!   per `--workers` entry (default `1,2,8`), each warmed and driven with
+//!   the same seeded mix, compared against a serial cold-engine baseline;
+//!   writes `BENCH_serve_workers.json` with a `speedup_vs_serial_cold`
+//!   column.
+//!
+//! Reports land in `target/repro/` unless `--out` says otherwise.
+
+use dae_repro::serve::{bench_workers, run_load, LoadConfig, Mix};
+use dae_repro::trace::json::JsonValue;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    mix: Mix,
+    workers: Vec<usize>,
+    trials: usize,
+    out: Option<PathBuf>,
+    allow_shed: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        requests: 200,
+        clients: 4,
+        seed: 42,
+        mix: Mix::Compile,
+        workers: vec![1, 2, 8],
+        trials: 3,
+        out: None,
+        allow_shed: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--requests" => {
+                args.requests =
+                    value("--requests")?.parse().map_err(|e| format!("bad request count: {e}"))?
+            }
+            "--clients" => {
+                args.clients =
+                    value("--clients")?.parse().map_err(|e| format!("bad client count: {e}"))?;
+                if args.clients == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--mix" => args.mix = Mix::parse(&value("--mix")?)?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad workers: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.workers.is_empty() || args.workers.contains(&0) {
+                    return Err("--workers needs positive counts, e.g. 1,2,8".into());
+                }
+            }
+            "--trials" => {
+                args.trials =
+                    value("--trials")?.parse().map_err(|e| format!("bad trial count: {e}"))?;
+                if args.trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--allow-shed" => args.allow_shed = true,
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\n\
+                     usage: dae-load [--addr HOST:PORT] [--requests N] [--clients N] \
+                     [--seed S] [--mix compile|run|mixed] [--workers 1,2,8] \
+                     [--trials N] [--out <file>] [--allow-shed]"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn write_report(path: &PathBuf, doc: &JsonValue) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, doc.to_json_string())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    match run_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dae-load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_main() -> Result<(), String> {
+    let args = parse_args()?;
+    match &args.addr {
+        Some(addr) => {
+            let cfg = LoadConfig {
+                addr: addr.clone(),
+                requests: args.requests,
+                clients: args.clients,
+                seed: args.seed,
+                mix: args.mix,
+            };
+            let report = run_load(&cfg).map_err(|e| format!("load against {addr} failed: {e}"))?;
+            let out =
+                args.out.unwrap_or_else(|| PathBuf::from("target/repro/BENCH_serve_load.json"));
+            write_report(&out, &report.to_json())?;
+            println!(
+                "dae-load: {} sent, {} ok, {} failed, {} shed \
+                 | {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms -> {}",
+                report.sent,
+                report.ok,
+                report.failed,
+                report.shed,
+                report.throughput_rps(),
+                report.hist.quantile_s(0.50) * 1e3,
+                report.hist.quantile_s(0.99) * 1e3,
+                out.display()
+            );
+            if report.failed > 0 {
+                return Err(format!("{} requests failed", report.failed));
+            }
+            if report.shed > 0 && !args.allow_shed {
+                return Err(format!(
+                    "{} requests shed (pass --allow-shed to tolerate)",
+                    report.shed
+                ));
+            }
+            Ok(())
+        }
+        None => {
+            let doc = bench_workers(
+                &args.workers,
+                args.requests,
+                args.clients,
+                args.seed,
+                args.mix,
+                args.trials,
+            )
+            .map_err(|e| format!("bench failed: {e}"))?;
+            let out =
+                args.out.unwrap_or_else(|| PathBuf::from("target/repro/BENCH_serve_workers.json"));
+            write_report(&out, &doc)?;
+            let base_rps = doc
+                .get("baseline")
+                .and_then(|b| b.get("throughput_rps"))
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            println!("dae-load: serial cold baseline {base_rps:.1} req/s");
+            if let Some(servers) = doc.get("servers").and_then(JsonValue::as_arr) {
+                for s in servers {
+                    println!(
+                        "dae-load: {} workers: {:.1} req/s ({:.1}x serial cold), p99 {:.2} ms",
+                        s.get("workers").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                        s.get("throughput_rps").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                        s.get("speedup_vs_serial_cold").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                        s.get("latency")
+                            .and_then(|l| l.get("p99_s"))
+                            .and_then(JsonValue::as_f64)
+                            .unwrap_or(0.0)
+                            * 1e3,
+                    );
+                }
+            }
+            println!("dae-load: report -> {}", out.display());
+            Ok(())
+        }
+    }
+}

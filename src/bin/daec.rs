@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! daec <file.dae> [--report] [--run] [--policy <spec>] [--hints a,b,c]
-//!      [--jobs N] [--cache-dir <dir>]
+//!      [--jobs N] [--cache-dir <dir>] [--cache-max-mb <mb>]
 //!      [--no-polyhedral] [--no-cfg-simplify] [--line-dedup]
 //!      [--prefetch-writes] [--trace-out <file> [--trace-format chrome|summary]]
 //! ```
@@ -15,6 +15,8 @@
 //!   module is bit-identical at any job count.
 //! * `--cache-dir` — persist compiled access phases in `<dir>`; warm
 //!   recompiles of unchanged tasks skip the polyhedral analysis entirely
+//! * `--cache-max-mb` — byte budget (approximate, in MiB) of the in-memory
+//!   artifact cache tier (default 64)
 //! * `--run` — additionally execute every task (coupled vs decoupled) and
 //!   report time/energy/EDP under the paper's machine model
 //! * `--policy` — frequency policy for the decoupled runs (`--policy help`
@@ -60,6 +62,7 @@ struct Args {
     trace_format: TraceFormat,
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    cache_max_mb: usize,
 }
 
 /// `Ok(None)` means the invocation was fully handled (e.g. `--policy help`).
@@ -74,6 +77,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut trace_format = TraceFormat::Chrome;
     let mut jobs = 1usize;
     let mut cache_dir = None;
+    let mut cache_max_mb = 64usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -116,6 +120,13 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--cache-dir" => {
                 cache_dir = Some(PathBuf::from(it.next().ok_or("--cache-dir needs a path")?));
             }
+            "--cache-max-mb" => {
+                let v = it.next().ok_or("--cache-max-mb needs a value")?;
+                cache_max_mb = v.parse::<usize>().map_err(|e| format!("bad cache budget: {e}"))?;
+                if cache_max_mb == 0 {
+                    return Err("--cache-max-mb must be at least 1".into());
+                }
+            }
             "--no-polyhedral" => opts.enable_polyhedral = false,
             "--no-cfg-simplify" => opts.cfg_simplify = false,
             "--line-dedup" => opts.line_dedup = true,
@@ -137,6 +148,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         trace_format,
         jobs,
         cache_dir,
+        cache_max_mb,
     }))
 }
 
@@ -197,7 +209,7 @@ fn run_main() -> Result<(), String> {
     let mut driver = Driver::new(&DriverConfig {
         jobs: args.jobs,
         cache_dir: args.cache_dir.clone(),
-        ..Default::default()
+        mem_max_bytes: args.cache_max_mb << 20,
     });
     let outcome = driver.compile(&mut module, |_, f| CompilerOptions {
         param_hints: if hints.len() == f.params.len() {

@@ -22,6 +22,7 @@
 //! | [`sim`] | IR interpreter + OoO interval timing model |
 //! | [`runtime`] | task runtime: work stealing + per-phase DVFS |
 //! | [`governor`] | online profiling-guided per-phase DVFS governor |
+//! | [`serve`] | concurrent compile-and-simulate network service (`daed`) |
 //! | [`trace`] | event-level tracing: Perfetto/Chrome-trace + summary JSON |
 //! | [`workloads`] | the seven evaluation benchmarks |
 //!
@@ -65,6 +66,7 @@ pub use dae_mem as mem;
 pub use dae_poly as poly;
 pub use dae_power as power;
 pub use dae_runtime as runtime;
+pub use dae_serve as serve;
 pub use dae_sim as sim;
 pub use dae_trace as trace;
 pub use dae_workloads as workloads;
