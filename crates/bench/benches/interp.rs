@@ -1,0 +1,115 @@
+//! A/B throughput benchmark of the two simulator execution engines: the
+//! reference tree-walking interpreter vs the pre-lowered bytecode VM
+//! (`dae_sim::vm`), on the full benchmark corpus.
+//!
+//! Per benchmark, every task instance of the CAE variant is executed on a
+//! fresh machine + cache hierarchy under each engine and the wall time of
+//! the whole task list is measured (best of `--trials`, bytecode lowering
+//! included — it is part of the engine's cost). The metric is dynamic
+//! steps per second, where steps = `instrs + addr_ops` — identical across
+//! engines by the equivalence contract, so the speedup is a pure wall-time
+//! ratio on equal work.
+//!
+//! Writes `target/repro/BENCH_interp_<mode>.json` with per-benchmark
+//! steps/sec for both engines, the geomean speedup and the `meets_3x`
+//! acceptance fact.
+//!
+//! Run: `cargo bench -p dae-bench --bench interp`
+//! Smoke (CI): `DAE_BENCH_SMOKE=1 cargo bench -p dae-bench --bench interp`
+//! (or pass `--smoke`): small corpus, one trial.
+
+use dae_bench::{geomean, out_dir, print_table, Row};
+use dae_mem::{CoreCaches, HierarchyConfig, SharedLlc};
+use dae_sim::{CachePort, EngineKind, Machine, PhaseTrace};
+use dae_trace::json::JsonValue;
+use dae_workloads::{all_benchmarks, all_benchmarks_small, Variant, Workload};
+use std::time::Instant;
+
+/// One timed pass over the workload's whole task list: fresh machine and
+/// caches (cold start, lowering on first use), returns (steps, seconds).
+fn run_once(w: &Workload, engine: EngineKind) -> (u64, f64) {
+    let hc = HierarchyConfig::default();
+    let mut llc = SharedLlc::new(hc.llc);
+    let mut core = CoreCaches::new(&hc);
+    let mut machine = Machine::new(&w.module);
+    machine.config.engine = engine;
+    let tasks = w.tasks(Variant::Cae);
+    let start = Instant::now();
+    let mut steps = 0u64;
+    for t in &tasks {
+        let mut trace = PhaseTrace::default();
+        machine
+            .run(t.func, &t.args, &mut CachePort { core: &mut core, llc: &mut llc }, &mut trace)
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, engine.label()));
+        steps += trace.instrs + trace.addr_ops;
+    }
+    (steps, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`trials` steps/sec (max over trials — the least-noise estimate).
+fn steps_per_sec(w: &Workload, engine: EngineKind, trials: usize) -> (u64, f64) {
+    let mut best = 0.0f64;
+    let mut steps = 0;
+    for _ in 0..trials {
+        let (s, secs) = run_once(w, engine);
+        steps = s;
+        best = best.max(s as f64 / secs);
+    }
+    (steps, best)
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var_os("DAE_BENCH_SMOKE").is_some();
+    let (mode, trials, benchmarks) =
+        if smoke { ("smoke", 1, all_benchmarks_small()) } else { ("full", 3, all_benchmarks()) };
+    println!(
+        "Interpreter engine A/B [{mode}]: {} benchmark(s), best of {trials} trial(s)",
+        benchmarks.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut bench_json = Vec::new();
+    let mut speedups = Vec::new();
+    for w in &benchmarks {
+        let (steps_t, tree) = steps_per_sec(w, EngineKind::Tree, trials);
+        let (steps_b, vm) = steps_per_sec(w, EngineKind::Bytecode, trials);
+        assert_eq!(steps_t, steps_b, "{}: engines disagree on step count", w.name);
+        let speedup = vm / tree;
+        speedups.push(speedup);
+        rows.push(Row {
+            label: w.name.to_string(),
+            values: vec![steps_t as f64, tree / 1e6, vm / 1e6, speedup],
+        });
+        bench_json.push(JsonValue::obj([
+            ("name", w.name.into()),
+            ("steps", (steps_t as f64).into()),
+            ("tree_steps_per_s", tree.into()),
+            ("bytecode_steps_per_s", vm.into()),
+            ("speedup", speedup.into()),
+        ]));
+    }
+
+    let gm = geomean(speedups.iter().copied());
+    rows.push(Row { label: "G.Mean".to_string(), values: vec![f64::NAN, f64::NAN, f64::NAN, gm] });
+    print_table(
+        &format!("Interpreter throughput, CAE task lists [{mode}]"),
+        &["steps", "tree Msteps/s", "bytecode Msteps/s", "speedup"],
+        &rows,
+        2,
+    );
+    let meets = gm >= 3.0;
+    println!("\ngeomean bytecode speedup: {gm:.2}x (>= 3x: {})", if meets { "yes" } else { "NO" });
+
+    let v = JsonValue::obj([
+        ("schema", "dae-interp-bench/1".into()),
+        ("mode", mode.into()),
+        ("trials", trials.into()),
+        ("benchmarks", JsonValue::Arr(bench_json)),
+        ("geomean_speedup", gm.into()),
+        ("meets_3x", meets.into()),
+    ]);
+    let path = out_dir().join(format!("BENCH_interp_{mode}.json"));
+    std::fs::write(&path, v.to_json_string()).expect("write interp bench json");
+    println!("   -> {}", path.display());
+}

@@ -128,7 +128,7 @@ mod tests {
         let task = hot_task(&mut m);
         let p = profile_task(&m, task, &[vec![]]).expect("profiled");
         // Exactly one data-dependent conditional; taken 63/64.
-        let hot = p.counts.values().find(|(t, n)| *t + *n == 64 && *t == 63).is_some();
+        let hot = p.counts.iter().any(|(t, n)| *t + *n == 64 && *t == 63);
         assert!(hot, "expected a 63/64-taken branch, got {:?}", p.counts);
     }
 

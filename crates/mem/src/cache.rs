@@ -53,13 +53,37 @@ pub struct AccessOutcome {
     pub evicted_dirty: Option<u64>,
 }
 
+/// Dirty flag, packed into the top bit of a slot (line numbers are
+/// `addr >> line_shift`, so bit 63 is never part of a real line).
+const DIRTY: u64 = 1 << 63;
+
+/// Sentinel line number for an empty way (all 63 line bits set — a real
+/// line that large would need a memory beyond any simulated address
+/// space).
+const INVALID_LINE: u64 = u64::MAX >> 1;
+
 /// One set-associative LRU write-back cache. Tracks line presence and dirty
 /// state only — data lives in the simulator's flat memory.
+///
+/// Storage is a single flat slot array (`num_sets * assoc` entries,
+/// MRU-first within each set, empty ways as trailing sentinels) and the
+/// line/set extraction uses precomputed shift/mask values — this sits on
+/// the simulator's per-load hot path, so no divisions and no per-set
+/// allocations.
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// Per set: (line number, dirty), most-recently-used first.
-    sets: Vec<Vec<(u64, bool)>>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `num_sets - 1` when the set count is a power of two, else 0 and
+    /// [`Cache::set_mod`] is the modulus.
+    set_mask: u64,
+    /// Modulus for non-power-of-two set counts (0 when `set_mask` is used).
+    set_mod: u64,
+    /// `num_sets * assoc` slots of `line | dirty-bit`, MRU-first per set
+    /// (one 64-bit word per way keeps a whole 8-way set in one cache line
+    /// of the host).
+    slots: Vec<u64>,
     stats: CacheStats,
 }
 
@@ -78,8 +102,17 @@ impl Cache {
             0,
             "size must divide into sets"
         );
-        let sets = vec![Vec::with_capacity(cfg.assoc); cfg.num_sets() as usize];
-        Cache { cfg, sets, stats: CacheStats::default() }
+        let num_sets = cfg.num_sets();
+        let (set_mask, set_mod) =
+            if num_sets.is_power_of_two() { (num_sets - 1, 0) } else { (0, num_sets) };
+        Cache {
+            cfg,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask,
+            set_mod,
+            slots: vec![INVALID_LINE; (num_sets as usize) * cfg.assoc],
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -99,21 +132,43 @@ impl Cache {
 
     /// Empties the cache (keeps counters).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.slots.fill(INVALID_LINE);
     }
 
+    #[inline]
     fn line_of(&self, addr: u64) -> u64 {
-        addr / self.cfg.line_bytes
+        addr >> self.line_shift
     }
 
-    fn set_of(&self, line: u64) -> usize {
-        (line % self.cfg.num_sets()) as usize
+    /// First slot index of the set holding `line`.
+    #[inline]
+    fn set_start(&self, line: u64) -> usize {
+        let set = if self.set_mod == 0 { line & self.set_mask } else { line % self.set_mod };
+        set as usize * self.cfg.assoc
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> &[u64] {
+        let s = self.set_start(line);
+        &self.slots[s..s + self.cfg.assoc]
+    }
+
+    #[inline]
+    fn set_of_mut(&mut self, line: u64) -> &mut [u64] {
+        let s = self.set_start(line);
+        &mut self.slots[s..s + self.cfg.assoc]
+    }
+
+    /// `log2(line_bytes)` — for callers that need the line number of an
+    /// address without a division.
+    #[inline]
+    pub(crate) fn line_shift(&self) -> u32 {
+        self.line_shift
     }
 
     /// Accesses `addr`; returns `true` on hit. On miss the line is filled
     /// clean (LRU eviction). Convenience wrapper over [`Cache::access_full`].
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.access_full(addr, false).hit
     }
@@ -121,38 +176,39 @@ impl Cache {
     /// Accesses `addr`, marking the line dirty when `write` is set. On miss
     /// the line is filled (dirty iff `write`); the LRU victim's dirty state
     /// is reported so callers can model write-back traffic.
+    #[inline]
     pub fn access_full(&mut self, addr: u64, write: bool) -> AccessOutcome {
         let line = self.line_of(addr);
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+        let set = self.set_of_mut(line);
+        if let Some(pos) = set.iter().position(|&s| s & !DIRTY == line) {
             // Move to MRU position, accumulating dirtiness.
-            let (l, d) = set.remove(pos);
-            set.insert(0, (l, d || write));
+            let d = set[pos] & DIRTY;
+            set[..=pos].rotate_right(1);
+            set[0] = line | d | ((write as u64) << 63);
             self.stats.hits += 1;
             AccessOutcome { hit: true, evicted_dirty: None }
         } else {
-            set.insert(0, (line, write));
-            let evicted_dirty = if set.len() > self.cfg.assoc {
-                match set.pop() {
-                    Some((victim, true)) => Some(victim),
-                    _ => None,
-                }
+            // The LRU victim is the last way; empty ways are sentinels that
+            // always sit at the tail, so a non-full set evicts nothing.
+            let victim = set[set.len() - 1];
+            set.rotate_right(1);
+            set[0] = line | ((write as u64) << 63);
+            self.stats.misses += 1;
+            let evicted_dirty = if victim & !DIRTY != INVALID_LINE && victim & DIRTY != 0 {
+                Some(victim & !DIRTY)
             } else {
                 None
             };
-            self.stats.misses += 1;
             AccessOutcome { hit: false, evicted_dirty }
         }
     }
 
     /// Marks the line containing `addr` dirty if resident (used to sink a
     /// lower level's write-back); returns whether it was resident.
+    #[inline]
     pub fn mark_dirty_line(&mut self, line: u64) -> bool {
-        let set_idx = (line % self.cfg.num_sets()) as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
-            entry.1 = true;
+        if let Some(entry) = self.set_of_mut(line).iter_mut().find(|s| **s & !DIRTY == line) {
+            *entry |= DIRTY;
             true
         } else {
             false
@@ -163,13 +219,12 @@ impl Cache {
     /// stat update).
     pub fn probe(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
-        let set = &self.sets[self.set_of(line)];
-        set.iter().any(|&(l, _)| l == line)
+        self.set_of(line).iter().any(|&s| s & !DIRTY == line)
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.slots.iter().filter(|&&s| s & !DIRTY != INVALID_LINE).count()
     }
 }
 

@@ -71,7 +71,12 @@ impl SharedLlc {
 /// fetched ahead of use).
 #[derive(Clone, Debug, Default)]
 pub struct StreamPrefetcher {
-    recent_lines: Vec<u64>,
+    /// Ring buffer of the last [`StreamPrefetcher::TRACKED`] miss lines
+    /// (coverage only asks set membership, so order inside is irrelevant —
+    /// no shifting on the per-miss hot path).
+    recent_lines: [u64; Self::TRACKED],
+    head: usize,
+    len: usize,
 }
 
 impl StreamPrefetcher {
@@ -81,13 +86,14 @@ impl StreamPrefetcher {
     /// covers it (i.e. the hardware prefetcher would have fetched it). Only
     /// unit-line strides train the detector — pointer chases and gathers
     /// stay uncovered.
+    #[inline]
     pub fn observe(&mut self, line: u64) -> bool {
-        let covered = self
-            .recent_lines
+        let covered = self.recent_lines[..self.len]
             .iter()
             .any(|&l| line.wrapping_sub(l) == 1 || l.wrapping_sub(line) == 1);
-        self.recent_lines.insert(0, line);
-        self.recent_lines.truncate(Self::TRACKED);
+        self.recent_lines[self.head] = line;
+        self.head = (self.head + 1) % Self::TRACKED;
+        self.len = (self.len + 1).min(Self::TRACKED);
         covered
     }
 }
@@ -113,6 +119,7 @@ impl CoreCaches {
     /// Performs one access (demand or prefetch — both fill), returning the
     /// level that served it. Misses fill every level on the way down
     /// (inclusive fill).
+    #[inline]
     pub fn access(&mut self, llc: &mut SharedLlc, addr: u64) -> HitLevel {
         if self.l1.access(addr) {
             return HitLevel::L1;
@@ -130,10 +137,11 @@ impl CoreCaches {
     /// returns the serving level plus `true` when a DRAM miss was covered by
     /// a detected stream (the timing model then charges on-chip latency and
     /// memory bandwidth instead of a full DRAM stall).
+    #[inline]
     pub fn access_demand(&mut self, llc: &mut SharedLlc, addr: u64) -> (HitLevel, bool) {
         let level = self.access(llc, addr);
         if level == HitLevel::Memory {
-            let covered = self.streams.observe(addr / self.l1.config().line_bytes);
+            let covered = self.streams.observe(addr >> self.l1.line_shift());
             (level, covered)
         } else {
             (level, false)
@@ -145,6 +153,7 @@ impl CoreCaches {
     /// into the LLC, and a dirty LLC victim becomes a DRAM write-back).
     /// Returns the serving level plus the number of DRAM write-back lines
     /// this access caused.
+    #[inline]
     pub fn access_write(&mut self, llc: &mut SharedLlc, addr: u64) -> (HitLevel, u64) {
         let mut dram_writebacks = 0u64;
         let sink_l2 = |l2: &mut Cache, llc: &mut SharedLlc, line: u64, wb: &mut u64| {

@@ -3,7 +3,7 @@
 use dae_governor::GovernorKind;
 use dae_mem::HierarchyConfig;
 use dae_power::{DvfsConfig, DvfsTable, FreqId, PowerModel};
-use dae_sim::TimingConfig;
+use dae_sim::{EngineKind, TimingConfig};
 
 /// How the runtime picks frequencies for task phases (§3.1 and §6.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,6 +136,9 @@ pub struct RuntimeConfig {
     /// workloads; services running untrusted IR lower it so a hostile
     /// infinite loop burns virtual time, not wall-clock time.
     pub max_steps: u64,
+    /// Execution engine for simulated phases (observationally identical
+    /// either way; bytecode is several times faster).
+    pub engine: EngineKind,
 }
 
 impl RuntimeConfig {
@@ -152,6 +155,7 @@ impl RuntimeConfig {
             policy: FreqPolicy::CoupledMax,
             task_overhead_s: 150e-9,
             max_steps: 2_000_000_000,
+            engine: EngineKind::default(),
         }
     }
 
@@ -170,6 +174,12 @@ impl RuntimeConfig {
     /// Same machine with a different DVFS transition latency.
     pub fn with_dvfs(mut self, dvfs: DvfsConfig) -> Self {
         self.dvfs = dvfs;
+        self
+    }
+
+    /// Same machine with a different execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }

@@ -44,5 +44,6 @@ pub mod sched;
 
 pub use config::{FreqPolicy, RuntimeConfig};
 pub use dae_governor::GovernorKind;
+pub use dae_sim::EngineKind;
 pub use report::{Breakdown, ClassReport, CompileStats, GovernorReport, RunReport};
 pub use sched::{run_workload, run_workload_governed, run_workload_traced, TaskInstance};

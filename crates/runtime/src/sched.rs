@@ -161,6 +161,7 @@ fn run_scheduler(
 ) -> Result<RunReport, InterpError> {
     let mut machine = Machine::new(module);
     machine.config.max_steps = cfg.max_steps;
+    machine.config.engine = cfg.engine;
     let mut llc = SharedLlc::new(cfg.hierarchy.llc);
     let mut cores: Vec<CoreState> = (0..cfg.cores)
         .map(|_| CoreState {
@@ -336,6 +337,7 @@ fn run_task<'g>(
             &mut CachePort { core: &mut core.caches, llc },
             &mut a_trace,
         )?;
+        emit_lower_spans(machine, sink, core_id, core.clock_s);
         let a_freq = match &decision {
             Some((_, d)) => d.access,
             None => match cfg.policy {
@@ -379,6 +381,7 @@ fn run_task<'g>(
         &mut CachePort { core: &mut core.caches, llc },
         &mut e_trace,
     )?;
+    emit_lower_spans(machine, sink, core_id, core.clock_s);
     let e_freq = match &decision {
         Some((_, d)) => d.execute,
         None => match cfg.policy {
@@ -417,6 +420,24 @@ fn run_task<'g>(
     }
     execute_trace.merge(&e_trace);
     Ok(())
+}
+
+/// Forwards the machine's pending bytecode-lowering spans to the sink:
+/// instantaneous on the virtual timeline (lowering is host-side work),
+/// with the wall-clock cost carried as metadata.
+fn emit_lower_spans(machine: &mut Machine<'_>, sink: &mut dyn TraceSink, core_id: u32, now_s: f64) {
+    for s in machine.take_lower_spans() {
+        if sink.is_enabled() {
+            sink.record(TraceEvent::BytecodeLower {
+                core: core_id,
+                func: s.func,
+                ops: s.ops,
+                fused: s.fused,
+                start_s: now_s,
+                wall_s: s.wall_s,
+            });
+        }
+    }
 }
 
 /// Condenses one charged phase into governor feedback. Time and energy are

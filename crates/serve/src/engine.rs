@@ -32,7 +32,7 @@ use dae_core::{CompilerOptions, Strategy};
 use dae_driver::{Driver, DriverConfig, Fnv64};
 use dae_ir::{parse::parse_module, print_module, verify_module, FuncId, Function, Module};
 use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
-use dae_sim::Val;
+use dae_sim::{EngineKind, Val};
 use dae_trace::json::JsonValue;
 
 use crate::proto::{codes, ErrorBody, Op, Request};
@@ -58,6 +58,10 @@ pub struct EngineConfig {
     /// default leaves honest workloads three orders of magnitude of
     /// headroom.
     pub max_steps: u64,
+    /// Execution engine for simulated phases. Responses are identical
+    /// either way (the engines are observationally equivalent), so the
+    /// choice does not participate in the response-cache key.
+    pub engine: EngineKind,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +71,7 @@ impl Default for EngineConfig {
             max_global_bytes: 256 << 20,
             resp_max_bytes: 32 << 20,
             max_steps: 10_000_000,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -77,6 +82,7 @@ pub struct Engine {
     resp: Mutex<ResponseCache>,
     max_global_bytes: u64,
     max_steps: u64,
+    engine: EngineKind,
 }
 
 impl Engine {
@@ -88,6 +94,7 @@ impl Engine {
             resp: Mutex::new(ResponseCache::new(config.resp_max_bytes)),
             max_global_bytes: config.max_global_bytes,
             max_steps: config.max_steps,
+            engine: config.engine,
         }
     }
 
@@ -211,7 +218,8 @@ impl Engine {
     }
 
     fn run(&self, req: &Request, module: &Module, c: &Compiled) -> Result<JsonValue, ErrorBody> {
-        let base = RuntimeConfig::paper_default().with_max_steps(self.max_steps);
+        let base =
+            RuntimeConfig::paper_default().with_max_steps(self.max_steps).with_engine(self.engine);
         let policy = match &req.policy {
             None => FreqPolicy::DaeOptimal,
             Some(spec) => FreqPolicy::parse(spec, &base.table)

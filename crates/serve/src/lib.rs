@@ -48,6 +48,7 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use dae_sim::EngineKind;
 pub use engine::{Engine, EngineConfig};
 pub use load::{bench_workers, run_load, LoadConfig, LoadReport, Mix};
 pub use metrics::{Metrics, STATS_SCHEMA};

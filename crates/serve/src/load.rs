@@ -24,6 +24,7 @@ use dae_trace::LogHistogram;
 use crate::engine::{Engine, EngineConfig};
 use crate::proto::parse_request;
 use crate::server::{Server, ServerConfig};
+use dae_sim::EngineKind;
 
 /// Schema tag of a load run's JSON report.
 pub const LOAD_SCHEMA: &str = "dae-serve-load/1";
@@ -292,7 +293,13 @@ fn request_frame(mix: Mix, rng: &mut SplitMix64, id: u64) -> JsonValue {
 /// Serial cold baseline: a **fresh engine per request** handles the same
 /// deterministic mix inline — no cache reuse, no concurrency. This is the
 /// denominator of the bench's speedup column.
-pub fn serial_cold_baseline(requests: usize, clients: usize, seed: u64, mix: Mix) -> LoadReport {
+pub fn serial_cold_baseline(
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    mix: Mix,
+    engine: EngineKind,
+) -> LoadReport {
     let clients = clients.max(1);
     let started = Instant::now();
     let mut report =
@@ -304,7 +311,7 @@ pub fn serial_cold_baseline(requests: usize, clients: usize, seed: u64, mix: Mix
         for k in 0..share {
             let frame = request_frame(mix, &mut rng, (c * 1_000_000 + k) as u64);
             let req = parse_request(&frame.to_json_string()).expect("generated frame is valid");
-            let engine = Engine::new(&EngineConfig::default());
+            let engine = Engine::new(&EngineConfig { engine, ..EngineConfig::default() });
             let t0 = Instant::now();
             let res = engine.handle(&req);
             report.hist.record(t0.elapsed().as_secs_f64());
@@ -327,6 +334,7 @@ pub fn serial_cold_baseline(requests: usize, clients: usize, seed: u64, mix: Mix
 /// on a shared machine the noise is one-sided (a neighbour stealing the
 /// CPU only ever slows a trial down), so the fastest trial is the best
 /// estimate of what the code actually costs.
+#[allow(clippy::too_many_arguments)]
 pub fn bench_workers(
     worker_counts: &[usize],
     requests: usize,
@@ -334,10 +342,11 @@ pub fn bench_workers(
     seed: u64,
     mix: Mix,
     trials: usize,
+    engine: EngineKind,
 ) -> std::io::Result<JsonValue> {
     let trials = trials.max(1);
     let baseline = (0..trials)
-        .map(|_| serial_cold_baseline(requests, clients, seed, mix))
+        .map(|_| serial_cold_baseline(requests, clients, seed, mix, engine))
         .max_by(|a, b| a.throughput_rps().total_cmp(&b.throughput_rps()))
         .expect("at least one trial");
     let mut servers = Vec::new();
@@ -345,6 +354,7 @@ pub fn bench_workers(
         let server = Server::bind(&ServerConfig {
             workers,
             queue_depth: requests.max(64),
+            engine: EngineConfig { engine, ..EngineConfig::default() },
             ..Default::default()
         })?;
         let addr = server.local_addr()?.to_string();
@@ -382,6 +392,7 @@ pub fn bench_workers(
         ("clients", clients.into()),
         ("seed", seed.into()),
         ("trials", trials.into()),
+        ("engine", engine.label().into()),
         (
             "mix",
             match mix {
@@ -483,7 +494,7 @@ mod tests {
 
     #[test]
     fn serial_baseline_handles_the_same_mix() {
-        let r = serial_cold_baseline(6, 2, 3, Mix::Compile);
+        let r = serial_cold_baseline(6, 2, 3, Mix::Compile, EngineKind::default());
         assert_eq!(r.sent, 6);
         assert_eq!(r.ok, 6);
         assert!(r.wall_s > 0.0);

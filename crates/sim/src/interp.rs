@@ -4,22 +4,26 @@
 
 use crate::memory::{Memory, TypeError, Val};
 use crate::timing::{level_index, DemandMiss, PhaseTrace, TimingConfig};
+use crate::vm::EngineKind;
 use dae_ir::{BinOp, BlockId, CmpOp, FuncId, Function, InstKind, Module, Terminator, UnOp, Value};
 use dae_mem::{CoreCaches, HitLevel, SharedLlc};
 use std::fmt;
 
-/// Interpreter limits.
+/// Interpreter limits and engine selection.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct InterpConfig {
     /// Abort after this many dynamic instructions (infinite-loop guard).
     pub max_steps: u64,
     /// Maximum call depth.
     pub max_call_depth: usize,
+    /// Which execution engine runs the code. Both produce identical
+    /// results, traces and errors (see [`crate::vm`]).
+    pub engine: EngineKind,
 }
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { max_steps: 2_000_000_000, max_call_depth: 64 }
+        InterpConfig { max_steps: 2_000_000_000, max_call_depth: 64, engine: EngineKind::default() }
     }
 }
 
@@ -82,15 +86,33 @@ impl From<TypeError> for InterpError {
 /// taken vs not taken. Input to profile-guided access generation.
 #[derive(Clone, Debug, Default)]
 pub struct BranchProfile {
-    /// `block -> (taken, not_taken)` counts for its terminating branch.
-    pub counts: std::collections::HashMap<BlockId, (u64, u64)>,
+    /// `(taken, not_taken)` counts of the branch terminating each block,
+    /// indexed by block id (block ids are dense). Blocks past the last
+    /// recorded branch are simply absent; blocks without a conditional
+    /// branch stay `(0, 0)`.
+    pub counts: Vec<(u64, u64)>,
 }
 
 impl BranchProfile {
+    /// Records one execution of the branch at `block`, growing the table
+    /// on first contact.
+    pub fn record(&mut self, block: BlockId, taken: bool) {
+        let i = block.0 as usize;
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, (0, 0));
+        }
+        let e = &mut self.counts[i];
+        if taken {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+
     /// Fraction of executions in which the branch at `block` was taken;
     /// `None` if it never executed.
     pub fn taken_fraction(&self, block: BlockId) -> Option<f64> {
-        let (t, n) = self.counts.get(&block)?;
+        let (t, n) = self.counts.get(block.0 as usize)?;
         let total = t + n;
         if total == 0 {
             None
@@ -113,17 +135,20 @@ pub struct CachePort<'c> {
 /// The machine is the long-lived object: memory persists across task runs,
 /// exactly like the heap of the paper's benchmarks persists across tasks.
 pub struct Machine<'m> {
-    module: &'m Module,
+    pub(crate) module: &'m Module,
     /// Simulated flat memory holding the globals.
     pub memory: Memory,
-    /// Interpreter limits.
+    /// Interpreter limits and engine selection.
     pub config: InterpConfig,
+    /// Bytecode-engine state: cached lowered programs + reusable frame
+    /// stack (untouched when running as [`EngineKind::Tree`]).
+    pub(crate) vm: crate::vm::VmState,
 }
 
 /// A value plus its miss-dependence taint: `true` when the value derives
 /// from a DRAM-missing load (drives the dependent-miss serialisation of the
 /// timing model).
-type Slot = (Val, bool);
+pub(crate) type Slot = (Val, bool);
 
 struct Frame<'f> {
     func: &'f Function,
@@ -136,7 +161,12 @@ struct Frame<'f> {
 impl<'m> Machine<'m> {
     /// Creates a machine with freshly initialised memory.
     pub fn new(module: &'m Module) -> Machine<'m> {
-        Machine { module, memory: Memory::for_module(module), config: InterpConfig::default() }
+        Machine {
+            module,
+            memory: Memory::for_module(module),
+            config: InterpConfig::default(),
+            vm: crate::vm::VmState::default(),
+        }
     }
 
     /// The module being executed.
@@ -157,6 +187,9 @@ impl<'m> Machine<'m> {
         caches: &mut CachePort<'_>,
         trace: &mut PhaseTrace,
     ) -> Result<Option<Val>, InterpError> {
+        if self.config.engine == EngineKind::Bytecode {
+            return self.vm_run(func, args, caches, trace, None);
+        }
         let mut steps_left = self.config.max_steps;
         let slots: Vec<Slot> = args.iter().map(|v| (*v, false)).collect();
         let r = self.run_frame(func, slots, caches, trace, &mut steps_left, 0, None)?;
@@ -178,6 +211,9 @@ impl<'m> Machine<'m> {
         trace: &mut PhaseTrace,
         profile: &mut BranchProfile,
     ) -> Result<Option<Val>, InterpError> {
+        if self.config.engine == EngineKind::Bytecode {
+            return self.vm_run(func, args, caches, trace, Some(profile));
+        }
         let mut steps_left = self.config.max_steps;
         let slots: Vec<Slot> = args.iter().map(|v| (*v, false)).collect();
         let r = self.run_frame(func, slots, caches, trace, &mut steps_left, 0, Some(profile))?;
@@ -221,6 +257,9 @@ impl<'m> Machine<'m> {
         };
 
         let mut block = func.entry;
+        // Scratch for edge arguments, swapped (not reallocated) into the
+        // destination's parameter slots on every taken edge.
+        let mut incoming: Vec<Slot> = Vec::new();
         loop {
             // Execute the block body.
             for &inst in &func.block(block).insts {
@@ -244,12 +283,7 @@ impl<'m> Machine<'m> {
                     let (c, _) = eval(&frame, *cond);
                     let taken = c.try_b()?;
                     if let Some(p) = profile.as_deref_mut() {
-                        let e = p.counts.entry(block).or_insert((0, 0));
-                        if taken {
-                            e.0 += 1;
-                        } else {
-                            e.1 += 1;
-                        }
+                        p.record(block, taken);
                     }
                     if taken {
                         then_dest
@@ -262,8 +296,9 @@ impl<'m> Machine<'m> {
                 }
             };
             // Bind edge arguments to destination parameters.
-            let incoming: Vec<Slot> = dest.args.iter().map(|a| eval(&frame, *a)).collect();
-            frame.param_slots[dest.block.0 as usize] = incoming;
+            incoming.clear();
+            incoming.extend(dest.args.iter().map(|a| eval(&frame, *a)));
+            std::mem::swap(&mut frame.param_slots[dest.block.0 as usize], &mut incoming);
             block = dest.block;
         }
     }
@@ -406,7 +441,8 @@ fn eval(frame: &Frame<'_>, v: Value) -> Slot {
     }
 }
 
-fn exec_binop(op: BinOp, a: Val, b: Val) -> Result<Val, InterpError> {
+#[inline]
+pub(crate) fn exec_binop(op: BinOp, a: Val, b: Val) -> Result<Val, InterpError> {
     Ok(match op {
         BinOp::IAdd => Val::I(a.try_i()?.wrapping_add(b.try_i()?)),
         BinOp::ISub => Val::I(a.try_i()?.wrapping_sub(b.try_i()?)),
@@ -439,7 +475,8 @@ fn exec_binop(op: BinOp, a: Val, b: Val) -> Result<Val, InterpError> {
     })
 }
 
-fn exec_unop(op: UnOp, a: Val) -> Result<Val, InterpError> {
+#[inline]
+pub(crate) fn exec_unop(op: UnOp, a: Val) -> Result<Val, InterpError> {
     Ok(match op {
         UnOp::INeg => Val::I(a.try_i()?.wrapping_neg()),
         UnOp::FNeg => Val::F(-a.try_f()?),
@@ -452,7 +489,8 @@ fn exec_unop(op: UnOp, a: Val) -> Result<Val, InterpError> {
     })
 }
 
-fn exec_cmp(op: CmpOp, a: Val, b: Val) -> Result<bool, InterpError> {
+#[inline]
+pub(crate) fn exec_cmp(op: CmpOp, a: Val, b: Val) -> Result<bool, InterpError> {
     Ok(match (a, b) {
         (Val::I(x), Val::I(y)) => cmp_ord(op, x.cmp(&y)),
         (Val::P(x), Val::P(y)) => cmp_ord(op, x.cmp(&y)),

@@ -56,6 +56,7 @@ impl dae_ir::CodedError for TypeError {
 
 impl Val {
     /// The name of this value's payload kind.
+    #[inline]
     pub fn kind(self) -> &'static str {
         match self {
             Val::I(_) => "i64",
@@ -66,6 +67,7 @@ impl Val {
     }
 
     /// The integer payload, or a [`TypeError`] for any other kind.
+    #[inline]
     pub fn try_i(self) -> Result<i64, TypeError> {
         match self {
             Val::I(v) => Ok(v),
@@ -74,6 +76,7 @@ impl Val {
     }
 
     /// The float payload, or a [`TypeError`] for any other kind.
+    #[inline]
     pub fn try_f(self) -> Result<f64, TypeError> {
         match self {
             Val::F(v) => Ok(v),
@@ -82,6 +85,7 @@ impl Val {
     }
 
     /// The boolean payload, or a [`TypeError`] for any other kind.
+    #[inline]
     pub fn try_b(self) -> Result<bool, TypeError> {
         match self {
             Val::B(v) => Ok(v),
@@ -90,6 +94,7 @@ impl Val {
     }
 
     /// The pointer payload, or a [`TypeError`] for any other kind.
+    #[inline]
     pub fn try_p(self) -> Result<u64, TypeError> {
         match self {
             Val::P(v) => Ok(v),
@@ -184,6 +189,7 @@ impl Memory {
         self.bytes.len()
     }
 
+    #[inline]
     fn check(&self, addr: u64, len: u64) {
         assert!(
             addr >= GLOBALS_BASE && addr + len <= self.bytes.len() as u64,
@@ -192,6 +198,7 @@ impl Memory {
     }
 
     /// Reads a raw 64-bit word.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         self.check(addr, 8);
         let a = addr as usize;
@@ -199,6 +206,7 @@ impl Memory {
     }
 
     /// Writes a raw 64-bit word.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) {
         self.check(addr, 8);
         let a = addr as usize;
@@ -211,6 +219,7 @@ impl Memory {
     /// # Panics
     ///
     /// Panics on out-of-bounds access.
+    #[inline]
     pub fn try_read(&self, ty: Type, addr: u64) -> Result<Val, TypeError> {
         Ok(match ty {
             Type::I64 => Val::I(self.read_u64(addr) as i64),
@@ -235,6 +244,7 @@ impl Memory {
     }
 
     /// Writes a typed value.
+    #[inline]
     pub fn write(&mut self, addr: u64, v: Val) {
         match v {
             Val::I(x) => self.write_u64(addr, x as u64),

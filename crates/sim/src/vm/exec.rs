@@ -1,0 +1,641 @@
+//! Execution: the `loop { match op }` dispatch core and the per-machine
+//! VM state (bytecode cache + reusable frame stack).
+//!
+//! Every trace-counter bump, error-production order and step-budget
+//! decrement below mirrors `crate::interp::Machine::run_frame` /
+//! `exec_inst` exactly — when editing either, edit both, and let
+//! `tests/engine_equivalence.rs` arbitrate.
+//!
+//! The frame stack is threaded through as a plain `&mut Vec` (taken out of
+//! [`VmState`] for the duration of a run) rather than accessed through
+//! `self`: the dispatch loop's slot reads then go through a `noalias`
+//! reference the optimiser can keep in registers across the opaque cache
+//! and memory calls. The step budget likewise lives in a local for the
+//! duration of one frame, synced at call boundaries.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::interp::{
+    exec_binop, exec_cmp, exec_unop, BranchProfile, CachePort, InterpError, Machine, Slot,
+};
+use crate::memory::Val;
+use crate::timing::{level_index, DemandMiss, PhaseTrace, TimingConfig};
+use dae_ir::{BlockId, FuncId, UnOp};
+use dae_mem::HitLevel;
+
+use super::lower::{lower, CompiledFunc, Op};
+use super::LowerSpan;
+
+/// Per-machine VM state: lazily lowered bytecode per `FuncId`, one frame
+/// stack reused across every call, and the pending lower-time spans.
+#[derive(Default)]
+pub(crate) struct VmState {
+    compiled: Vec<Option<Rc<CompiledFunc>>>,
+    stack: Vec<Slot>,
+    lower_spans: Vec<LowerSpan>,
+}
+
+/// Where a callee's arguments come from.
+enum ArgSrc<'a> {
+    /// Top-level entry: plain values, untainted.
+    Vals(&'a [Val]),
+    /// A `Call` op: slot indices into the caller's frame region.
+    Frame { caller_base: usize, idxs: &'a [u32] },
+}
+
+impl ArgSrc<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ArgSrc::Vals(v) => v.len(),
+            ArgSrc::Frame { idxs, .. } => idxs.len(),
+        }
+    }
+}
+
+impl Machine<'_> {
+    /// Pending bytecode-lowering spans, drained. Lowering happens at most
+    /// once per function per machine, so the list is bounded by the
+    /// module's function count even when nobody drains it.
+    pub fn take_lower_spans(&mut self) -> Vec<LowerSpan> {
+        std::mem::take(&mut self.vm.lower_spans)
+    }
+
+    /// Bytecode-engine twin of the tree-walking `run`/`run_with_profile`.
+    pub(crate) fn vm_run(
+        &mut self,
+        func: FuncId,
+        args: &[Val],
+        caches: &mut CachePort<'_>,
+        trace: &mut PhaseTrace,
+        profile: Option<&mut BranchProfile>,
+    ) -> Result<Option<Val>, InterpError> {
+        let mut steps_left = self.config.max_steps;
+        let mut stack = std::mem::take(&mut self.vm.stack);
+        let r = self.vm_invoke(
+            func,
+            ArgSrc::Vals(args),
+            &mut stack,
+            0,
+            caches,
+            trace,
+            &mut steps_left,
+            0,
+            profile,
+        );
+        self.vm.stack = stack;
+        Ok(r?.map(|(v, _)| v))
+    }
+
+    /// The cached bytecode of `func_id`, lowering (and recording a
+    /// [`LowerSpan`]) on first use.
+    fn compiled(&mut self, func_id: FuncId) -> Rc<CompiledFunc> {
+        let ix = func_id.0 as usize;
+        if self.vm.compiled.len() <= ix {
+            self.vm.compiled.resize(ix + 1, None);
+        }
+        if let Some(c) = &self.vm.compiled[ix] {
+            return Rc::clone(c);
+        }
+        let t0 = Instant::now();
+        let func = self.module.func(func_id);
+        let cf = Rc::new(lower(func, &self.memory));
+        self.vm.lower_spans.push(LowerSpan {
+            func: cf.name.clone(),
+            ops: cf.ops.len() as u32,
+            fused: cf.fused,
+            wall_s: t0.elapsed().as_secs_f64(),
+        });
+        self.vm.compiled[ix] = Some(Rc::clone(&cf));
+        cf
+    }
+
+    /// One activation: depth/arity checks (same order and messages as the
+    /// tree-walker), frame carve-out at `base`, execute.
+    ///
+    /// The stack is high-water-marked: it grows to cover `base + frame_len`
+    /// and is never truncated, so a call re-entering a popped region reuses
+    /// the (stale but initialised) slots without a zero-fill. Program
+    /// results never observe the stale values — lowered code for a verified
+    /// (SSA-dominant) function writes every slot it reads, and the constant
+    /// pool is (re)copied on every entry.
+    #[allow(clippy::too_many_arguments)]
+    fn vm_invoke(
+        &mut self,
+        func_id: FuncId,
+        args: ArgSrc<'_>,
+        stack: &mut Vec<Slot>,
+        base: usize,
+        caches: &mut CachePort<'_>,
+        trace: &mut PhaseTrace,
+        steps_left: &mut u64,
+        depth: usize,
+        profile: Option<&mut BranchProfile>,
+    ) -> Result<Option<Slot>, InterpError> {
+        if depth > self.config.max_call_depth {
+            return Err(InterpError::Trap("call depth exceeded".into()));
+        }
+        let f = self.compiled(func_id);
+        if f.params != args.len() {
+            return Err(InterpError::Trap(format!(
+                "function `{}` expects {} args, got {}",
+                f.name,
+                f.params,
+                args.len()
+            )));
+        }
+        if stack.len() < base + f.frame_len {
+            stack.resize(base + f.frame_len, (Val::I(0), false));
+        }
+        let cb = base + f.const_base;
+        stack[cb..cb + f.consts.len()].copy_from_slice(&f.consts);
+        match args {
+            ArgSrc::Vals(vals) => {
+                for (i, v) in vals.iter().enumerate() {
+                    stack[base + i] = (*v, false);
+                }
+            }
+            ArgSrc::Frame { caller_base, idxs } => {
+                for (i, &s) in idxs.iter().enumerate() {
+                    stack[base + i] = stack[caller_base + s as usize];
+                }
+            }
+        }
+        self.vm_exec(&f, base, stack, caches, trace, steps_left, depth, profile)
+    }
+
+    /// The dispatch loop over one frame.
+    ///
+    /// # Safety of the unchecked indexing
+    ///
+    /// Every frame index, branch target and pool range in a
+    /// [`CompiledFunc`] was checked by `lower::validate` when the function
+    /// was lowered: frame indices are `< frame_len`, targets are
+    /// `< ops.len()`, pool ranges lie inside their pools, and the program
+    /// cannot fall off the end (the final op is a terminator, so every
+    /// fall-through op has a successor). `vm_invoke` grew the stack to at
+    /// least `base + frame_len` before entry, and the stack never shrinks
+    /// (high-water discipline), so `base + i` is in bounds for every
+    /// validated `i` throughout the frame's lifetime.
+    #[allow(clippy::too_many_arguments)]
+    fn vm_exec(
+        &mut self,
+        f: &CompiledFunc,
+        base: usize,
+        stack: &mut Vec<Slot>,
+        caches: &mut CachePort<'_>,
+        trace: &mut PhaseTrace,
+        steps_left: &mut u64,
+        depth: usize,
+        mut profile: Option<&mut BranchProfile>,
+    ) -> Result<Option<Slot>, InterpError> {
+        debug_assert!(stack.len() >= base + f.frame_len);
+        let cfg_extra = TimingConfig::default();
+        let ops: &[Op] = &f.ops;
+        let mut pc = f.entry_pc as usize;
+        // The budget lives in a register for the duration of the frame,
+        // synced back around calls and on every exit. The four per-op trace
+        // counters likewise accumulate in locals (one register add instead
+        // of a read-modify-write through the `&mut PhaseTrace` on every
+        // dispatched op) and are flushed by `sync!` on every exit path, so
+        // an error-path trace is indistinguishable from the tree-walker's.
+        let mut steps = *steps_left;
+        let mut n_instrs = trace.instrs;
+        let mut n_addr = trace.addr_ops;
+        let mut n_branches = trace.branches;
+        let mut n_fp = trace.fp_ops;
+        /// Flushes the local counters back into the trace.
+        macro_rules! sync {
+            () => {
+                trace.instrs = n_instrs;
+                trace.addr_ops = n_addr;
+                trace.branches = n_branches;
+                trace.fp_ops = n_fp;
+            };
+        }
+        /// Reloads the local counters after a callee mutated the trace.
+        macro_rules! reload {
+            () => {
+                n_instrs = trace.instrs;
+                n_addr = trace.addr_ops;
+                n_branches = trace.branches;
+                n_fp = trace.fp_ops;
+            };
+        }
+        /// `?`, flushing the local counters on the error path first.
+        macro_rules! tryv {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(e) => {
+                        sync!();
+                        return Err(e.into());
+                    }
+                }
+            };
+        }
+        /// Budget check-and-decrement preceding every dynamic instruction
+        /// and terminator, exactly like the tree-walker's block loop.
+        macro_rules! step {
+            () => {
+                if steps == 0 {
+                    sync!();
+                    *steps_left = 0;
+                    return Err(InterpError::StepLimit);
+                }
+                steps -= 1;
+            };
+        }
+        /// Reads frame slot `$i` (validated `< frame_len` at lower time).
+        macro_rules! slot {
+            ($i:expr) => {{
+                debug_assert!(($i as usize) < f.frame_len);
+                unsafe { *stack.get_unchecked(base + $i as usize) }
+            }};
+        }
+        /// Writes frame slot `$i` (validated `< frame_len` at lower time).
+        macro_rules! set {
+            ($i:expr, $v:expr) => {{
+                debug_assert!(($i as usize) < f.frame_len);
+                let v = $v;
+                unsafe { *stack.get_unchecked_mut(base + $i as usize) = v };
+            }};
+        }
+        macro_rules! moves {
+            ($r:expr) => {
+                let (s, l) = $r;
+                debug_assert!((s + l) as usize <= f.moves.len());
+                for m in unsafe { f.moves.get_unchecked(s as usize..(s + l) as usize) } {
+                    set!(m.dst, slot!(m.src));
+                }
+            };
+        }
+        /// A specialised integer binop: same operand evaluation and error
+        /// order as `exec_binop`, without its per-execution op dispatch.
+        macro_rules! ibin {
+            ($a:expr, $b:expr, $dst:expr, $f:expr) => {{
+                step!();
+                n_instrs += 1;
+                let (av, ta) = slot!($a);
+                let (bv, tb) = slot!($b);
+                let v = Val::I($f(tryv!(av.try_i()), tryv!(bv.try_i())));
+                set!($dst, (v, ta || tb));
+                pc += 1;
+            }};
+        }
+        /// A specialised float binop (bumps `fp_ops` like the tree-walker).
+        macro_rules! fbin {
+            ($a:expr, $b:expr, $dst:expr, $f:expr) => {{
+                step!();
+                n_instrs += 1;
+                let (av, ta) = slot!($a);
+                let (bv, tb) = slot!($b);
+                let v = Val::F($f(tryv!(av.try_f()), tryv!(bv.try_f())));
+                n_fp += 1;
+                set!($dst, (v, ta || tb));
+                pc += 1;
+            }};
+        }
+        /// The demand-load core for the type-specialised load ops:
+        /// identical cache/trace modelling to `load!`, with the value
+        /// produced by `$read` (a closure over the checked address) instead
+        /// of a generic `try_read`.
+        macro_rules! load_as {
+            ($read:expr, $addr:expr, $taint:expr, $dst:expr) => {
+                let a: u64 = $addr;
+                trace.loads += 1;
+                let (level, hw_covered) = caches.core.access_demand(caches.llc, a);
+                let missed = level == HitLevel::Memory;
+                if missed && hw_covered {
+                    trace.hw_prefetch_lines += 1;
+                } else {
+                    trace.demand_hits[level_index(level)] += 1;
+                    if missed {
+                        trace
+                            .demand_misses
+                            .push(DemandMiss { instr_idx: n_instrs, dependent: $taint });
+                    }
+                }
+                let v = $read(a);
+                set!($dst, (v, missed && !hw_covered));
+            };
+        }
+        /// The demand-load core shared by `Load` and `PtrAddLoad`.
+        macro_rules! load {
+            ($ty:expr, $addr:expr, $taint:expr, $dst:expr) => {
+                let a: u64 = $addr;
+                trace.loads += 1;
+                let (level, hw_covered) = caches.core.access_demand(caches.llc, a);
+                let missed = level == HitLevel::Memory;
+                if missed && hw_covered {
+                    trace.hw_prefetch_lines += 1;
+                } else {
+                    trace.demand_hits[level_index(level)] += 1;
+                    if missed {
+                        trace
+                            .demand_misses
+                            .push(DemandMiss { instr_idx: n_instrs, dependent: $taint });
+                    }
+                }
+                let v = tryv!(self.memory.try_read($ty, a));
+                set!($dst, (v, missed && !hw_covered));
+            };
+        }
+        loop {
+            debug_assert!(pc < ops.len());
+            // Matched by reference on purpose: dereferencing would copy the
+            // whole `Op` (up to 9 words for `CmpBr`) on every dispatch.
+            #[allow(clippy::match_ref_pats)]
+            match unsafe { ops.get_unchecked(pc) } {
+                &Op::Bin { op, a, b, dst, folded } => {
+                    step!();
+                    if folded {
+                        n_addr += 1;
+                    } else {
+                        n_instrs += 1;
+                    }
+                    let (av, ta) = slot!(a);
+                    let (bv, tb) = slot!(b);
+                    let v = tryv!(exec_binop(op, av, bv));
+                    if op.is_float() {
+                        n_fp += 1;
+                    }
+                    match op {
+                        dae_ir::BinOp::IDiv | dae_ir::BinOp::IRem => {
+                            trace.extra_lat_cycles += cfg_extra.idiv_cyc;
+                        }
+                        dae_ir::BinOp::FDiv => trace.extra_lat_cycles += cfg_extra.fdiv_cyc,
+                        _ => {}
+                    }
+                    set!(dst, (v, ta || tb));
+                    pc += 1;
+                }
+                &Op::IAdd { a, b, dst } => ibin!(a, b, dst, i64::wrapping_add),
+                &Op::ISub { a, b, dst } => ibin!(a, b, dst, i64::wrapping_sub),
+                &Op::IMul { a, b, dst, folded } => {
+                    step!();
+                    if folded {
+                        n_addr += 1;
+                    } else {
+                        n_instrs += 1;
+                    }
+                    let (av, ta) = slot!(a);
+                    let (bv, tb) = slot!(b);
+                    let v = Val::I(tryv!(av.try_i()).wrapping_mul(tryv!(bv.try_i())));
+                    set!(dst, (v, ta || tb));
+                    pc += 1;
+                }
+                &Op::IAnd { a, b, dst } => ibin!(a, b, dst, |x, y| x & y),
+                &Op::IOr { a, b, dst } => ibin!(a, b, dst, |x, y| x | y),
+                &Op::IXor { a, b, dst } => ibin!(a, b, dst, |x, y| x ^ y),
+                &Op::IShl { a, b, dst } => ibin!(a, b, dst, |x: i64, y| x.wrapping_shl(y as u32)),
+                &Op::IAShr { a, b, dst } => ibin!(a, b, dst, |x: i64, y| x.wrapping_shr(y as u32)),
+                &Op::FAdd { a, b, dst } => fbin!(a, b, dst, |x, y| x + y),
+                &Op::FSub { a, b, dst } => fbin!(a, b, dst, |x, y| x - y),
+                &Op::FMul { a, b, dst } => fbin!(a, b, dst, |x, y| x * y),
+                &Op::Un { op, a, dst } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, t) = slot!(a);
+                    if matches!(op, UnOp::FSqrt) {
+                        n_fp += 1;
+                        trace.extra_lat_cycles += cfg_extra.fsqrt_cyc;
+                    }
+                    set!(dst, (tryv!(exec_unop(op, av)), t));
+                    pc += 1;
+                }
+                &Op::Cmp { op, a, b, dst } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, ta) = slot!(a);
+                    let (bv, tb) = slot!(b);
+                    set!(dst, (Val::B(tryv!(exec_cmp(op, av, bv))), ta || tb));
+                    pc += 1;
+                }
+                &Op::Select { cond, then_s, else_s, dst } => {
+                    step!();
+                    n_instrs += 1;
+                    let (c, tc) = slot!(cond);
+                    let (v, tv) = if tryv!(c.try_b()) { slot!(then_s) } else { slot!(else_s) };
+                    set!(dst, (v, tc || tv));
+                    pc += 1;
+                }
+                &Op::PtrAdd { base: pb, offset, dst } => {
+                    step!();
+                    n_addr += 1;
+                    let (bv, tb) = slot!(pb);
+                    let (ov, to) = slot!(offset);
+                    set!(
+                        dst,
+                        (
+                            Val::P(
+                                (tryv!(bv.try_p()) as i64).wrapping_add(tryv!(ov.try_i())) as u64
+                            ),
+                            tb || to
+                        )
+                    );
+                    pc += 1;
+                }
+                &Op::Load { ty, addr, dst } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, taint) = slot!(addr);
+                    load!(ty, tryv!(av.try_p()), taint, dst);
+                    pc += 1;
+                }
+                &Op::LoadF { addr, dst } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, taint) = slot!(addr);
+                    let rd = |a| Val::F(f64::from_bits(self.memory.read_u64(a)));
+                    load_as!(rd, tryv!(av.try_p()), taint, dst);
+                    pc += 1;
+                }
+                &Op::LoadI { addr, dst } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, taint) = slot!(addr);
+                    let rd = |a| Val::I(self.memory.read_u64(a) as i64);
+                    load_as!(rd, tryv!(av.try_p()), taint, dst);
+                    pc += 1;
+                }
+                &Op::Store { addr, value } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, _) = slot!(addr);
+                    let a = tryv!(av.try_p());
+                    let (v, _) = slot!(value);
+                    trace.stores += 1;
+                    let (level, writebacks) = caches.core.access_write(caches.llc, a);
+                    if level == HitLevel::Memory {
+                        trace.store_mem_misses += 1;
+                    }
+                    trace.writeback_lines += writebacks;
+                    self.memory.write(a, v);
+                    pc += 1;
+                }
+                &Op::Prefetch { addr } => {
+                    step!();
+                    n_instrs += 1;
+                    let (av, _) = slot!(addr);
+                    trace.prefetches += 1;
+                    let p = tryv!(av.try_p());
+                    if (p as usize) < self.memory.size() && p >= 0x1000 {
+                        let level = caches.core.access(caches.llc, p);
+                        trace.prefetch_hits[level_index(level)] += 1;
+                    }
+                    pc += 1;
+                }
+                &Op::Call { callee, args: (s, l), dst } => {
+                    step!();
+                    n_instrs += 1;
+                    debug_assert!((s + l) as usize <= f.call_args.len());
+                    let idxs = unsafe { f.call_args.get_unchecked(s as usize..(s + l) as usize) };
+                    sync!();
+                    *steps_left = steps;
+                    let r = self.vm_invoke(
+                        callee,
+                        ArgSrc::Frame { caller_base: base, idxs },
+                        stack,
+                        base + f.frame_len,
+                        caches,
+                        trace,
+                        steps_left,
+                        depth + 1,
+                        None,
+                    )?;
+                    steps = *steps_left;
+                    reload!();
+                    if let Some(slot) = r {
+                        set!(dst, slot);
+                    }
+                    pc += 1;
+                }
+                &Op::Jump { target, moves: mv } => {
+                    step!();
+                    n_instrs += 1;
+                    n_branches += 1;
+                    moves!(mv);
+                    pc = target as usize;
+                }
+                &Op::Branch { cond, block, then_target, then_moves, else_target, else_moves } => {
+                    step!();
+                    n_instrs += 1;
+                    n_branches += 1;
+                    let (c, _) = slot!(cond);
+                    let taken = tryv!(c.try_b());
+                    if let Some(p) = profile.as_deref_mut() {
+                        p.record(BlockId(block), taken);
+                    }
+                    if taken {
+                        moves!(then_moves);
+                        pc = then_target as usize;
+                    } else {
+                        moves!(else_moves);
+                        pc = else_target as usize;
+                    }
+                }
+                &Op::Ret { val } => {
+                    step!();
+                    n_instrs += 1;
+                    n_branches += 1;
+                    sync!();
+                    *steps_left = steps;
+                    return Ok(val.map(|i| slot!(i)));
+                }
+                &Op::CmpBr {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    block,
+                    then_target,
+                    then_moves,
+                    else_target,
+                    else_moves,
+                } => {
+                    // Constituent 1: the compare (step + instr + result).
+                    step!();
+                    n_instrs += 1;
+                    let (av, ta) = slot!(a);
+                    let (bv, tb) = slot!(b);
+                    let taken = tryv!(exec_cmp(op, av, bv));
+                    set!(dst, (Val::B(taken), ta || tb));
+                    // Constituent 2: the branch (fresh bool, no try_b).
+                    step!();
+                    n_instrs += 1;
+                    n_branches += 1;
+                    if let Some(p) = profile.as_deref_mut() {
+                        p.record(BlockId(block), taken);
+                    }
+                    if taken {
+                        moves!(then_moves);
+                        pc = then_target as usize;
+                    } else {
+                        moves!(else_moves);
+                        pc = else_target as usize;
+                    }
+                }
+                &Op::PtrAddLoad { base: pb, offset, ptr_dst, ty, dst } => {
+                    // Constituent 1: the folded address compute.
+                    step!();
+                    n_addr += 1;
+                    let (bv, tb) = slot!(pb);
+                    let (ov, to) = slot!(offset);
+                    let p = (tryv!(bv.try_p()) as i64).wrapping_add(tryv!(ov.try_i())) as u64;
+                    let pt = tb || to;
+                    set!(ptr_dst, (Val::P(p), pt));
+                    // Constituent 2: the load (the address is a fresh
+                    // pointer, so the tree-walker's try_p cannot fail).
+                    step!();
+                    n_instrs += 1;
+                    load!(ty, p, pt, dst);
+                    pc += 1;
+                }
+                &Op::PtrAddLoadF { base: pb, offset, ptr_dst, dst } => {
+                    step!();
+                    n_addr += 1;
+                    let (bv, tb) = slot!(pb);
+                    let (ov, to) = slot!(offset);
+                    let p = (tryv!(bv.try_p()) as i64).wrapping_add(tryv!(ov.try_i())) as u64;
+                    let pt = tb || to;
+                    set!(ptr_dst, (Val::P(p), pt));
+                    step!();
+                    n_instrs += 1;
+                    let rd = |a| Val::F(f64::from_bits(self.memory.read_u64(a)));
+                    load_as!(rd, p, pt, dst);
+                    pc += 1;
+                }
+                &Op::PtrAddLoadI { base: pb, offset, ptr_dst, dst } => {
+                    step!();
+                    n_addr += 1;
+                    let (bv, tb) = slot!(pb);
+                    let (ov, to) = slot!(offset);
+                    let p = (tryv!(bv.try_p()) as i64).wrapping_add(tryv!(ov.try_i())) as u64;
+                    let pt = tb || to;
+                    set!(ptr_dst, (Val::P(p), pt));
+                    step!();
+                    n_instrs += 1;
+                    let rd = |a| Val::I(self.memory.read_u64(a) as i64);
+                    load_as!(rd, p, pt, dst);
+                    pc += 1;
+                }
+                &Op::AddJump { a, b, dst, target, moves: mv } => {
+                    // Constituent 1: the integer add.
+                    step!();
+                    n_instrs += 1;
+                    let (av, ta) = slot!(a);
+                    let (bv, tb) = slot!(b);
+                    let v = Val::I(tryv!(av.try_i()).wrapping_add(tryv!(bv.try_i())));
+                    set!(dst, (v, ta || tb));
+                    // Constituent 2: the back-edge jump.
+                    step!();
+                    n_instrs += 1;
+                    n_branches += 1;
+                    moves!(mv);
+                    pc = target as usize;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! Lowering: one [`Function`] → one [`CompiledFunc`], a flat bytecode
+//! program over a dense virtual-register frame.
+//!
+//! # Frame layout
+//!
+//! One contiguous slot region per activation, carved out of the machine's
+//! shared frame stack:
+//!
+//! ```text
+//! [ args | block params (contiguous per block) | one slot per inst | temp | consts ]
+//! ```
+//!
+//! Every [`Value`] resolves to a frame index at lower time; constants
+//! (including resolved global addresses — the memory layout of a module is
+//! fixed at machine construction) are deduplicated into a pool that is
+//! copied into the frame tail on entry. The single `temp` slot breaks
+//! parallel-move cycles.
+//!
+//! # Accounting fidelity
+//!
+//! Lowering decides *statically* everything the tree-walker decides per
+//! dynamic instruction: whether an op folds into an addressing mode
+//! (`ptradd`, power-of-two-scale `imul`), which trace counters it bumps,
+//! and in which order its operands fail on type errors. Fused super-ops
+//! carry both constituents' accounting and perform both step-budget
+//! checks, so a run that exhausts its budget *between* the halves stops at
+//! exactly the same step as the tree-walker.
+
+use std::collections::HashMap;
+
+use crate::interp::Slot;
+use crate::memory::{Memory, Val};
+use dae_ir::{
+    BinOp, BlockCall, BlockId, CmpOp, FuncId, Function, InstKind, Terminator, Type, UnOp, Value,
+};
+
+/// A pooled parallel-move step: `frame[dst] = frame[src]`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Move {
+    /// Source frame index.
+    pub(crate) src: u32,
+    /// Destination frame index.
+    pub(crate) dst: u32,
+}
+
+/// `(start, len)` range into a [`CompiledFunc`] side pool.
+pub(crate) type PoolRange = (u32, u32);
+
+/// One pre-resolved bytecode operation. All operands are frame indices;
+/// all targets are instruction offsets (after patching).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// A binary ALU op. `folded` marks power-of-two-scale multiplies that
+    /// fold into an addressing mode (counted as `addr_ops`). Only the cold
+    /// binops reach this generic form — the hot ones lower to the
+    /// specialised single-dispatch variants below.
+    Bin { op: BinOp, a: u32, b: u32, dst: u32, folded: bool },
+    /// Specialised `BinOp::IAdd`: the opcode dispatch IS the op dispatch,
+    /// no second jump table per executed instruction.
+    IAdd { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::ISub`.
+    ISub { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::IMul` (keeps the addressing-mode `folded` bit).
+    IMul { a: u32, b: u32, dst: u32, folded: bool },
+    /// Specialised `BinOp::And`.
+    IAnd { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::Or`.
+    IOr { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::Xor`.
+    IXor { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::Shl`.
+    IShl { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::AShr`.
+    IAShr { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::FAdd`.
+    FAdd { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::FSub`.
+    FSub { a: u32, b: u32, dst: u32 },
+    /// Specialised `BinOp::FMul`.
+    FMul { a: u32, b: u32, dst: u32 },
+    /// A unary op.
+    Un { op: UnOp, a: u32, dst: u32 },
+    /// A comparison producing a bool.
+    Cmp { op: CmpOp, a: u32, b: u32, dst: u32 },
+    /// A select between two already-computed slots.
+    Select { cond: u32, then_s: u32, else_s: u32, dst: u32 },
+    /// Pointer arithmetic (always folded: `addr_ops`).
+    PtrAdd { base: u32, offset: u32, dst: u32 },
+    /// A demand load (generic over the loaded type; the common F64/I64
+    /// loads lower to the specialised variants below).
+    Load { ty: Type, addr: u32, dst: u32 },
+    /// Specialised `Load` of an `F64`.
+    LoadF { addr: u32, dst: u32 },
+    /// Specialised `Load` of an `I64`.
+    LoadI { addr: u32, dst: u32 },
+    /// A store.
+    Store { addr: u32, value: u32 },
+    /// A software prefetch hint.
+    Prefetch { addr: u32 },
+    /// A call; `args` ranges into the call-args pool (caller frame
+    /// indices), `dst` receives the callee's result if it returns one.
+    Call { callee: FuncId, args: PoolRange, dst: u32 },
+    /// An unconditional jump: apply `moves`, continue at `target`.
+    Jump { target: u32, moves: PoolRange },
+    /// A conditional branch. `block` is the source block id (for branch
+    /// profiling).
+    Branch {
+        cond: u32,
+        block: u32,
+        then_target: u32,
+        then_moves: PoolRange,
+        else_target: u32,
+        else_moves: PoolRange,
+    },
+    /// Return, optionally with a value slot.
+    Ret { val: Option<u32> },
+    /// Fused compare+branch: the block's final compare feeding its own
+    /// terminator. Still writes the compare result to `dst` (dominated
+    /// blocks may use it) and performs both constituents' step checks.
+    CmpBr {
+        op: CmpOp,
+        a: u32,
+        b: u32,
+        dst: u32,
+        block: u32,
+        then_target: u32,
+        then_moves: PoolRange,
+        else_target: u32,
+        else_moves: PoolRange,
+    },
+    /// Fused address-compute+load: a `ptradd` immediately consumed by the
+    /// next instruction's load. Still writes the address to `ptr_dst`.
+    PtrAddLoad { base: u32, offset: u32, ptr_dst: u32, ty: Type, dst: u32 },
+    /// Specialised `PtrAddLoad` of an `F64`.
+    PtrAddLoadF { base: u32, offset: u32, ptr_dst: u32, dst: u32 },
+    /// Specialised `PtrAddLoad` of an `I64`.
+    PtrAddLoadI { base: u32, offset: u32, ptr_dst: u32, dst: u32 },
+    /// Fused counter-increment+back-edge: an integer add as the block's
+    /// final instruction, followed by an unconditional jump.
+    AddJump { a: u32, b: u32, dst: u32, target: u32, moves: PoolRange },
+}
+
+/// One function lowered to bytecode. Immutable once built; shared by
+/// every activation through an `Rc`.
+pub(crate) struct CompiledFunc {
+    /// Function name (for trap messages).
+    pub(crate) name: String,
+    /// Declared parameter count (arity check).
+    pub(crate) params: usize,
+    /// Total frame slots one activation needs.
+    pub(crate) frame_len: usize,
+    /// Frame index where the constant pool is copied on entry.
+    pub(crate) const_base: usize,
+    /// The pooled constants (untainted), global addresses resolved.
+    pub(crate) consts: Vec<Slot>,
+    /// Instruction offset of the entry block.
+    pub(crate) entry_pc: u32,
+    /// The flat program.
+    pub(crate) ops: Vec<Op>,
+    /// Pooled parallel-move sequences, referenced by [`PoolRange`]s.
+    pub(crate) moves: Vec<Move>,
+    /// Pooled call-argument frame indices, referenced by [`PoolRange`]s.
+    pub(crate) call_args: Vec<u32>,
+    /// Fused super-ops emitted (telemetry).
+    pub(crate) fused: u32,
+}
+
+/// Mirrors the tree-walker's x86 addressing-mode folding test: `ptradd`
+/// always; `imul` when either operand is a constant 1, 2, 4 or 8.
+fn is_folded(kind: &InstKind) -> bool {
+    match kind {
+        InstKind::PtrAdd { .. } => true,
+        InstKind::Binary { op: BinOp::IMul, lhs, rhs } => {
+            let scale = |v: &Value| matches!(v.as_i64(), Some(1) | Some(2) | Some(4) | Some(8));
+            scale(lhs) || scale(rhs)
+        }
+        _ => false,
+    }
+}
+
+struct Lowerer<'f> {
+    func: &'f Function,
+    memory: &'f Memory,
+    /// Frame index of each block's first parameter slot.
+    param_base: Vec<u32>,
+    inst_base: u32,
+    temp: u32,
+    const_base: u32,
+    consts: Vec<Slot>,
+    const_ix: HashMap<Value, u32>,
+    ops: Vec<Op>,
+    moves: Vec<Move>,
+    call_args: Vec<u32>,
+    /// Instruction offset of each block (targets are patched from this).
+    block_pc: Vec<u32>,
+    fused: u32,
+}
+
+/// Lowers `func` against the machine's memory (whose global layout is
+/// fixed for the machine's lifetime, so global addresses pool as
+/// constants).
+pub(crate) fn lower(func: &Function, memory: &Memory) -> CompiledFunc {
+    let nargs = func.params.len() as u32;
+    let mut param_base = Vec::with_capacity(func.num_blocks());
+    let mut next = nargs;
+    for b in 0..func.num_blocks() {
+        param_base.push(next);
+        next += func.block(BlockId(b as u32)).params.len() as u32;
+    }
+    let inst_base = next;
+    let temp = inst_base + func.num_insts() as u32;
+    let const_base = temp + 1;
+    let mut l = Lowerer {
+        func,
+        memory,
+        param_base,
+        inst_base,
+        temp,
+        const_base,
+        consts: Vec::new(),
+        const_ix: HashMap::new(),
+        ops: Vec::new(),
+        moves: Vec::new(),
+        call_args: Vec::new(),
+        block_pc: vec![0; func.num_blocks()],
+        fused: 0,
+    };
+    for b in 0..func.num_blocks() {
+        l.lower_block(BlockId(b as u32));
+    }
+    l.patch_targets();
+    let cf = CompiledFunc {
+        name: func.name.clone(),
+        params: func.params.len(),
+        frame_len: const_base as usize + l.consts.len(),
+        const_base: const_base as usize,
+        consts: l.consts,
+        entry_pc: l.block_pc[func.entry.0 as usize],
+        ops: l.ops,
+        moves: l.moves,
+        call_args: l.call_args,
+        fused: l.fused,
+    };
+    validate(&cf);
+    cf
+}
+
+/// Checks the in-bounds invariant the execution loop's unchecked indexing
+/// relies on: every operand is a frame index below `frame_len`, every
+/// branch target (and the entry) is an instruction offset below
+/// `ops.len()`, every pool range lies inside its pool, and control can
+/// never fall off the end of the program (every fall-through op has a
+/// successor because the final op is a terminator).
+///
+/// Runs once per function per machine — not on the hot path.
+///
+/// # Panics
+///
+/// Panics if lowering produced an out-of-bounds reference; that is a bug
+/// in this module, never a property of the input program.
+fn validate(cf: &CompiledFunc) {
+    let flen = cf.frame_len as u32;
+    let plen = cf.ops.len() as u32;
+    let slot = |s: u32| assert!(s < flen, "{}: frame index {s} out of bounds", cf.name);
+    let target = |t: u32| assert!(t < plen, "{}: branch target {t} out of bounds", cf.name);
+    let pool = |(s, l): PoolRange, len: usize| {
+        assert!((s + l) as usize <= len, "{}: pool range out of bounds", cf.name)
+    };
+    target(cf.entry_pc);
+    assert!(
+        matches!(
+            cf.ops.last(),
+            Some(
+                Op::Jump { .. }
+                    | Op::Branch { .. }
+                    | Op::Ret { .. }
+                    | Op::CmpBr { .. }
+                    | Op::AddJump { .. }
+            )
+        ),
+        "{}: program must end with a terminator",
+        cf.name
+    );
+    for m in &cf.moves {
+        slot(m.src);
+        slot(m.dst);
+    }
+    for &a in &cf.call_args {
+        slot(a);
+    }
+    for op in &cf.ops {
+        match *op {
+            Op::Bin { a, b, dst, .. }
+            | Op::IAdd { a, b, dst }
+            | Op::ISub { a, b, dst }
+            | Op::IMul { a, b, dst, .. }
+            | Op::IAnd { a, b, dst }
+            | Op::IOr { a, b, dst }
+            | Op::IXor { a, b, dst }
+            | Op::IShl { a, b, dst }
+            | Op::IAShr { a, b, dst }
+            | Op::FAdd { a, b, dst }
+            | Op::FSub { a, b, dst }
+            | Op::FMul { a, b, dst }
+            | Op::Cmp { a, b, dst, .. } => {
+                slot(a);
+                slot(b);
+                slot(dst);
+            }
+            Op::Un { a, dst, .. } => {
+                slot(a);
+                slot(dst);
+            }
+            Op::Select { cond, then_s, else_s, dst } => {
+                slot(cond);
+                slot(then_s);
+                slot(else_s);
+                slot(dst);
+            }
+            Op::PtrAdd { base, offset, dst } => {
+                slot(base);
+                slot(offset);
+                slot(dst);
+            }
+            Op::Load { addr, dst, .. } | Op::LoadF { addr, dst } | Op::LoadI { addr, dst } => {
+                slot(addr);
+                slot(dst);
+            }
+            Op::Store { addr, value } => {
+                slot(addr);
+                slot(value);
+            }
+            Op::Prefetch { addr } => slot(addr),
+            Op::Call { args, dst, .. } => {
+                pool(args, cf.call_args.len());
+                slot(dst);
+            }
+            Op::Jump { target: t, moves } => {
+                target(t);
+                pool(moves, cf.moves.len());
+            }
+            Op::Branch { cond, then_target, then_moves, else_target, else_moves, .. } => {
+                slot(cond);
+                target(then_target);
+                target(else_target);
+                pool(then_moves, cf.moves.len());
+                pool(else_moves, cf.moves.len());
+            }
+            Op::Ret { val } => {
+                if let Some(v) = val {
+                    slot(v);
+                }
+            }
+            Op::CmpBr { a, b, dst, then_target, then_moves, else_target, else_moves, .. } => {
+                slot(a);
+                slot(b);
+                slot(dst);
+                target(then_target);
+                target(else_target);
+                pool(then_moves, cf.moves.len());
+                pool(else_moves, cf.moves.len());
+            }
+            Op::PtrAddLoad { base, offset, ptr_dst, dst, .. }
+            | Op::PtrAddLoadF { base, offset, ptr_dst, dst }
+            | Op::PtrAddLoadI { base, offset, ptr_dst, dst } => {
+                slot(base);
+                slot(offset);
+                slot(ptr_dst);
+                slot(dst);
+            }
+            Op::AddJump { a, b, dst, target: t, moves } => {
+                slot(a);
+                slot(b);
+                slot(dst);
+                target(t);
+                pool(moves, cf.moves.len());
+            }
+        }
+    }
+}
+
+impl Lowerer<'_> {
+    /// Resolves a value to its frame index, interning constants.
+    fn slot_of(&mut self, v: Value) -> u32 {
+        match v {
+            Value::Arg(i) => i,
+            Value::BlockParam { block, index } => self.param_base[block.0 as usize] + index,
+            Value::Inst(id) => self.inst_base + id.0,
+            c => {
+                if let Some(&ix) = self.const_ix.get(&c) {
+                    return ix;
+                }
+                let slot = match c {
+                    Value::ConstI64(x) => (Val::I(x), false),
+                    Value::ConstF64(bits) => (Val::F(f64::from_bits(bits)), false),
+                    Value::ConstBool(b) => (Val::B(b), false),
+                    Value::Global(g) => (Val::P(self.memory.global_addr(g)), false),
+                    _ => unreachable!("non-constant handled above"),
+                };
+                let ix = self.const_base + self.consts.len() as u32;
+                self.consts.push(slot);
+                self.const_ix.insert(c, ix);
+                ix
+            }
+        }
+    }
+
+    fn lower_block(&mut self, b: BlockId) {
+        self.block_pc[b.0 as usize] = self.ops.len() as u32;
+        let insts = &self.func.block(b).insts;
+        let term = self.func.terminator(b);
+        let mut term_fused = false;
+        let mut i = 0;
+        while i < insts.len() {
+            let id = insts[i];
+            let data = self.func.inst(id);
+            let dst = self.inst_base + id.0;
+            let last = i + 1 == insts.len();
+            // Super-op: compare feeding the block's own branch.
+            if last {
+                if let (
+                    InstKind::Cmp { op, lhs, rhs },
+                    Terminator::Branch { cond, then_dest, else_dest },
+                ) = (&data.kind, term)
+                {
+                    if *cond == Value::Inst(id) {
+                        let (op, lhs, rhs) = (*op, *lhs, *rhs);
+                        let a = self.slot_of(lhs);
+                        let bb = self.slot_of(rhs);
+                        let (then_target, then_moves) = self.lower_edge(then_dest);
+                        let (else_target, else_moves) = self.lower_edge(else_dest);
+                        self.ops.push(Op::CmpBr {
+                            op,
+                            a,
+                            b: bb,
+                            dst,
+                            block: b.0,
+                            then_target,
+                            then_moves,
+                            else_target,
+                            else_moves,
+                        });
+                        self.fused += 1;
+                        term_fused = true;
+                        break;
+                    }
+                }
+                // Super-op: counter increment feeding the back-edge.
+                if let (InstKind::Binary { op: BinOp::IAdd, lhs, rhs }, Terminator::Jump(dest)) =
+                    (&data.kind, term)
+                {
+                    let (lhs, rhs) = (*lhs, *rhs);
+                    let a = self.slot_of(lhs);
+                    let bb = self.slot_of(rhs);
+                    let (target, moves) = self.lower_edge(dest);
+                    self.ops.push(Op::AddJump { a, b: bb, dst, target, moves });
+                    self.fused += 1;
+                    term_fused = true;
+                    break;
+                }
+            }
+            // Super-op: address compute consumed by the adjacent load.
+            if !last {
+                if let InstKind::PtrAdd { base, offset } = &data.kind {
+                    let next = insts[i + 1];
+                    if let InstKind::Load { addr } = &self.func.inst(next).kind {
+                        if *addr == Value::Inst(id) {
+                            let (base, offset) = (*base, *offset);
+                            let ty = self.func.inst(next).ty;
+                            let b_s = self.slot_of(base);
+                            let o_s = self.slot_of(offset);
+                            let (ptr_dst, ld) = (dst, self.inst_base + next.0);
+                            self.ops.push(match ty {
+                                Type::F64 => {
+                                    Op::PtrAddLoadF { base: b_s, offset: o_s, ptr_dst, dst: ld }
+                                }
+                                Type::I64 => {
+                                    Op::PtrAddLoadI { base: b_s, offset: o_s, ptr_dst, dst: ld }
+                                }
+                                ty => {
+                                    Op::PtrAddLoad { base: b_s, offset: o_s, ptr_dst, ty, dst: ld }
+                                }
+                            });
+                            self.fused += 1;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+            let op = self.lower_inst(&data.kind, data.ty, dst);
+            self.ops.push(op);
+            i += 1;
+        }
+        if !term_fused {
+            let op = match term {
+                Terminator::Jump(d) => {
+                    let (target, moves) = self.lower_edge(d);
+                    Op::Jump { target, moves }
+                }
+                Terminator::Branch { cond, then_dest, else_dest } => {
+                    let cond = self.slot_of(*cond);
+                    let (then_target, then_moves) = self.lower_edge(then_dest);
+                    let (else_target, else_moves) = self.lower_edge(else_dest);
+                    Op::Branch {
+                        cond,
+                        block: b.0,
+                        then_target,
+                        then_moves,
+                        else_target,
+                        else_moves,
+                    }
+                }
+                Terminator::Ret(v) => Op::Ret { val: v.map(|v| self.slot_of(v)) },
+            };
+            self.ops.push(op);
+        }
+    }
+
+    fn lower_inst(&mut self, kind: &InstKind, ty: Type, dst: u32) -> Op {
+        match kind {
+            InstKind::Binary { op, lhs, rhs } => {
+                let a = self.slot_of(*lhs);
+                let b = self.slot_of(*rhs);
+                match op {
+                    BinOp::IAdd => Op::IAdd { a, b, dst },
+                    BinOp::ISub => Op::ISub { a, b, dst },
+                    BinOp::IMul => Op::IMul { a, b, dst, folded: is_folded(kind) },
+                    BinOp::And => Op::IAnd { a, b, dst },
+                    BinOp::Or => Op::IOr { a, b, dst },
+                    BinOp::Xor => Op::IXor { a, b, dst },
+                    BinOp::Shl => Op::IShl { a, b, dst },
+                    BinOp::AShr => Op::IAShr { a, b, dst },
+                    BinOp::FAdd => Op::FAdd { a, b, dst },
+                    BinOp::FSub => Op::FSub { a, b, dst },
+                    BinOp::FMul => Op::FMul { a, b, dst },
+                    op => Op::Bin { op: *op, a, b, dst, folded: is_folded(kind) },
+                }
+            }
+            InstKind::Unary { op, operand } => Op::Un { op: *op, a: self.slot_of(*operand), dst },
+            InstKind::Cmp { op, lhs, rhs } => {
+                Op::Cmp { op: *op, a: self.slot_of(*lhs), b: self.slot_of(*rhs), dst }
+            }
+            InstKind::Select { cond, then_value, else_value } => Op::Select {
+                cond: self.slot_of(*cond),
+                then_s: self.slot_of(*then_value),
+                else_s: self.slot_of(*else_value),
+                dst,
+            },
+            InstKind::PtrAdd { base, offset } => {
+                Op::PtrAdd { base: self.slot_of(*base), offset: self.slot_of(*offset), dst }
+            }
+            InstKind::Load { addr } => {
+                let addr = self.slot_of(*addr);
+                match ty {
+                    Type::F64 => Op::LoadF { addr, dst },
+                    Type::I64 => Op::LoadI { addr, dst },
+                    ty => Op::Load { ty, addr, dst },
+                }
+            }
+            InstKind::Store { addr, value } => {
+                Op::Store { addr: self.slot_of(*addr), value: self.slot_of(*value) }
+            }
+            InstKind::Prefetch { addr } => Op::Prefetch { addr: self.slot_of(*addr) },
+            InstKind::Call { callee, args } => {
+                let start = self.call_args.len() as u32;
+                for a in args {
+                    let s = self.slot_of(*a);
+                    self.call_args.push(s);
+                }
+                Op::Call { callee: *callee, args: (start, args.len() as u32), dst }
+            }
+        }
+    }
+
+    /// Lowers one CFG edge: its block-argument binding becomes a
+    /// sequentialised move list, its destination a (pre-patch) block id.
+    fn lower_edge(&mut self, dest: &BlockCall) -> (u32, PoolRange) {
+        let pbase = self.param_base[dest.block.0 as usize];
+        let pending: Vec<Move> = dest
+            .args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Move { src: self.slot_of(*a), dst: pbase + i as u32 })
+            .filter(|m| m.src != m.dst)
+            .collect();
+        let start = self.moves.len() as u32;
+        sequentialize(pending, self.temp, &mut self.moves);
+        (dest.block.0, (start, self.moves.len() as u32 - start))
+    }
+
+    /// Rewrites block-id targets to instruction offsets.
+    fn patch_targets(&mut self) {
+        let block_pc = &self.block_pc;
+        for op in &mut self.ops {
+            match op {
+                Op::Jump { target, .. } | Op::AddJump { target, .. } => {
+                    *target = block_pc[*target as usize];
+                }
+                Op::Branch { then_target, else_target, .. }
+                | Op::CmpBr { then_target, else_target, .. } => {
+                    *then_target = block_pc[*then_target as usize];
+                    *else_target = block_pc[*else_target as usize];
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Orders a set of parallel moves (distinct destinations) so sequential
+/// execution preserves the all-reads-before-all-writes semantics, using
+/// `temp` to break cycles. Appends the ordered steps to `out`.
+fn sequentialize(mut pending: Vec<Move>, temp: u32, out: &mut Vec<Move>) {
+    while !pending.is_empty() {
+        // Emit every move whose destination no other pending move reads.
+        let mut progressed = false;
+        let mut i = 0;
+        while i < pending.len() {
+            let dst = pending[i].dst;
+            if pending.iter().enumerate().all(|(j, m)| j == i || m.src != dst) {
+                out.push(pending.swap_remove(i));
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            // Only cycles remain: save one live source to the temp slot
+            // and redirect its readers there, freeing its destination.
+            let s = pending[0].src;
+            out.push(Move { src: s, dst: temp });
+            for m in &mut pending {
+                if m.src == s {
+                    m.src = temp;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Applies `moves` to a register file, for checking sequentialisation.
+    fn apply(moves: &[Move], regs: &mut [i64]) {
+        for m in moves {
+            regs[m.dst as usize] = regs[m.src as usize];
+        }
+    }
+
+    #[test]
+    fn parallel_moves_handle_chains_cycles_and_swaps() {
+        let cases: Vec<Vec<(u32, u32)>> = vec![
+            vec![(0, 1)],                         // plain copy
+            vec![(0, 1), (1, 2)],                 // overlapping chain
+            vec![(0, 1), (1, 0)],                 // swap
+            vec![(0, 1), (1, 2), (2, 0)],         // 3-cycle
+            vec![(0, 1), (1, 0), (2, 3), (3, 2)], // two disjoint swaps
+            vec![(5, 0), (5, 1), (0, 5)],         // shared source inside a cycle
+        ];
+        for pairs in cases {
+            let pending: Vec<Move> = pairs.iter().map(|&(src, dst)| Move { src, dst }).collect();
+            let mut out = Vec::new();
+            sequentialize(pending, 9, &mut out);
+            let mut regs: Vec<i64> = (0..10).collect();
+            let expected: Vec<i64> = {
+                let snapshot = regs.clone();
+                let mut e = regs.clone();
+                for &(src, dst) in &pairs {
+                    e[dst as usize] = snapshot[src as usize];
+                }
+                e[9] = regs[9]; // temp is scratch; exclude from the check
+                e
+            };
+            apply(&out, &mut regs);
+            assert_eq!(regs[..9], expected[..9], "pairs {pairs:?} -> {out:?}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The bytecode execution engine: each [`Function`](dae_ir::Function) is
+//! lowered **once** into a flat, pre-resolved program and then executed by
+//! a tight dispatch loop — the hot path behind every simulated phase.
+//!
+//! # Why
+//!
+//! The tree-walking interpreter in [`crate::interp`] re-resolves operands
+//! through an enum match, unwraps an `Option<Slot>` per instruction and
+//! heap-allocates a block-argument vector per executed terminator. For
+//! workloads running millions to billions of dynamic instructions that
+//! constant factor *is* the simulator's cost. Lowering moves all of it to
+//! compile time:
+//!
+//! * operands become dense frame indices (`u32`) resolved at lower time;
+//! * constants (including global addresses) are pooled and copied into the
+//!   frame once per call;
+//! * branch targets are instruction offsets, block arguments are explicit
+//!   pre-sequentialised parallel-move lists;
+//! * the dominant instruction pairs are fused into super-ops
+//!   (compare+branch, address-compute+load, counter-increment+back-edge)
+//!   that keep per-constituent step accounting intact.
+//!
+//! # Identity contract
+//!
+//! The engine is **observationally identical** to the tree-walker on every
+//! verified module and on the graceful-failure cases (type mismatches,
+//! division by zero, void loads, step-limit exhaustion, call-depth traps):
+//! same [`PhaseTrace`](crate::PhaseTrace) — including per-level hit/miss
+//! counters and the [`DemandMiss`](crate::DemandMiss) dependence chain —
+//! same [`InterpError`](crate::InterpError) values at the same remaining
+//! step counts, and therefore byte-identical `RunReport` JSON. The
+//! differential suite in `tests/engine_equivalence.rs` enforces this.
+//! The only divergence is deliberately out of contract: reading an
+//! instruction result before it was defined (IR the verifier rejects)
+//! panics in the tree-walker and yields a zero-initialised slot here.
+//!
+//! # Caching
+//!
+//! [`Machine`](crate::Machine) lowers lazily and caches the bytecode per
+//! `FuncId`. A machine borrows its module immutably for its whole
+//! lifetime, so the cache can never go stale: recompiling a module (e.g.
+//! through the driver, which keys artifacts by content-addressed task
+//! keys) produces a new module and therefore a new machine with an empty
+//! bytecode cache.
+
+mod exec;
+mod lower;
+
+pub(crate) use exec::VmState;
+
+/// Which interpreter executes simulated phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The reference tree-walking interpreter ([`crate::interp`]).
+    Tree,
+    /// The pre-lowered bytecode engine (this module). Observationally
+    /// identical to [`EngineKind::Tree`], several times faster.
+    Bytecode,
+}
+
+impl Default for EngineKind {
+    /// [`EngineKind::Bytecode`] unless the `DAE_SIM_ENGINE` environment
+    /// variable is set to `tree` (read once per process).
+    fn default() -> Self {
+        EngineKind::from_env()
+    }
+}
+
+impl EngineKind {
+    /// The process-wide default engine: `tree` if `DAE_SIM_ENGINE=tree`,
+    /// bytecode otherwise. The variable is read once and latched, so one
+    /// process never mixes defaults.
+    pub fn from_env() -> EngineKind {
+        static KIND: std::sync::OnceLock<EngineKind> = std::sync::OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("DAE_SIM_ENGINE").as_deref() {
+            Ok("tree") => EngineKind::Tree,
+            _ => EngineKind::Bytecode,
+        })
+    }
+
+    /// Parses `tree` or `bytecode` (the `--engine` CLI values).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values for anything else.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "tree" => Ok(EngineKind::Tree),
+            "bytecode" => Ok(EngineKind::Bytecode),
+            other => Err(format!("unknown engine `{other}` (tree or bytecode)")),
+        }
+    }
+
+    /// Stable lowercase name; `EngineKind::parse(k.label())` round-trips.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Tree => "tree",
+            EngineKind::Bytecode => "bytecode",
+        }
+    }
+}
+
+/// One function lowered to bytecode: what it cost and what came out.
+/// Drained from the machine by [`Machine::take_lower_spans`]
+/// (e.g. by `dae-runtime`, which forwards them to `dae-trace`).
+///
+/// [`Machine::take_lower_spans`]: crate::Machine::take_lower_spans
+#[derive(Clone, Debug)]
+pub struct LowerSpan {
+    /// Name of the lowered function.
+    pub func: String,
+    /// Bytecode ops emitted.
+    pub ops: u32,
+    /// Fused super-ops among them.
+    pub fused: u32,
+    /// Host wall-clock spent lowering, in seconds.
+    pub wall_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_parses_and_round_trips() {
+        for k in [EngineKind::Tree, EngineKind::Bytecode] {
+            assert_eq!(EngineKind::parse(k.label()), Ok(k));
+        }
+        assert!(EngineKind::parse("walker").is_err());
+    }
+}

@@ -133,6 +133,15 @@ fn span_event(ev: &TraceEvent) -> JsonValue {
                 ("cached", (*cached).into()),
             ]),
         ),
+        TraceEvent::BytecodeLower { func, ops, fused, wall_s, .. } => (
+            format!("lower [{func}]"),
+            JsonValue::obj([
+                ("func", func.as_str().into()),
+                ("ops", (*ops).into()),
+                ("fused", (*fused).into()),
+                ("wall_s", (*wall_s).into()),
+            ]),
+        ),
         TraceEvent::GovernorDecision {
             task,
             class,

@@ -174,6 +174,23 @@ pub enum TraceEvent {
         /// cache instead of being recomputed.
         cached: bool,
     },
+    /// One function lowered to simulator bytecode by a machine's execution
+    /// engine (instantaneous on the virtual timeline: lowering is host-side
+    /// work, its wall-clock cost rides along as metadata).
+    BytecodeLower {
+        /// Simulated core index whose machine lowered the function.
+        core: u32,
+        /// Name of the lowered function.
+        func: String,
+        /// Bytecode ops emitted.
+        ops: u32,
+        /// Fused super-ops among them.
+        fused: u32,
+        /// Time of the lowering on the virtual timeline, in seconds.
+        start_s: f64,
+        /// Host wall-clock spent lowering, in seconds.
+        wall_s: f64,
+    },
     /// An online governor's per-task frequency decision (instantaneous:
     /// the decision itself costs no virtual time or energy).
     GovernorDecision {
@@ -205,6 +222,7 @@ impl TraceEvent {
             | TraceEvent::DvfsTransition { core, .. }
             | TraceEvent::Idle { core, .. }
             | TraceEvent::CompilePass { core, .. }
+            | TraceEvent::BytecodeLower { core, .. }
             | TraceEvent::GovernorDecision { core, .. } => *core,
         }
     }
@@ -217,6 +235,7 @@ impl TraceEvent {
             | TraceEvent::DvfsTransition { start_s, .. }
             | TraceEvent::Idle { start_s, .. }
             | TraceEvent::CompilePass { start_s, .. }
+            | TraceEvent::BytecodeLower { start_s, .. }
             | TraceEvent::GovernorDecision { start_s, .. } => *start_s,
         }
     }
@@ -229,7 +248,7 @@ impl TraceEvent {
             | TraceEvent::DvfsTransition { dur_s, .. }
             | TraceEvent::Idle { dur_s, .. }
             | TraceEvent::CompilePass { dur_s, .. } => *dur_s,
-            TraceEvent::GovernorDecision { .. } => 0.0,
+            TraceEvent::BytecodeLower { .. } | TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
@@ -250,13 +269,14 @@ impl TraceEvent {
             }
             TraceEvent::Idle { .. }
             | TraceEvent::CompilePass { .. }
+            | TraceEvent::BytecodeLower { .. }
             | TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
     /// Stable category slug: `access`, `execute`, `overhead`, `dvfs`,
-    /// `idle`, `compile` or `governor`. Exporters group and reconcile
-    /// spans by this.
+    /// `idle`, `compile`, `lower` or `governor`. Exporters group and
+    /// reconcile spans by this.
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::Phase { kind, .. } => kind.as_str(),
@@ -264,6 +284,7 @@ impl TraceEvent {
             TraceEvent::DvfsTransition { .. } => "dvfs",
             TraceEvent::Idle { .. } => "idle",
             TraceEvent::CompilePass { .. } => "compile",
+            TraceEvent::BytecodeLower { .. } => "lower",
             TraceEvent::GovernorDecision { .. } => "governor",
         }
     }
@@ -306,6 +327,14 @@ mod tests {
                 dur_s: 0.01,
                 cached: false,
             },
+            TraceEvent::BytecodeLower {
+                core: 1,
+                func: "lu_inner".into(),
+                ops: 24,
+                fused: 3,
+                start_s: 0.0,
+                wall_s: 2e-6,
+            },
             TraceEvent::GovernorDecision {
                 core: 1,
                 task: 7,
@@ -318,7 +347,7 @@ mod tests {
             },
         ];
         let cats: Vec<&str> = events.iter().map(|e| e.category()).collect();
-        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle", "compile", "governor"]);
+        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle", "compile", "lower", "governor"]);
         for e in &events {
             assert_eq!(e.core(), 1);
             assert!((e.end_s() - e.start_s() - e.dur_s()).abs() < 1e-15);
@@ -328,9 +357,12 @@ mod tests {
         // Compile passes burn wall-clock, not modelled energy.
         assert_eq!(events[4].energy_j(), 0.0);
         assert!((events[4].dur_s() - 0.01).abs() < 1e-15);
-        // Decisions are instantaneous and free.
-        assert_eq!(events[5].dur_s(), 0.0);
-        assert_eq!(events[5].energy_j(), 0.0);
+        // Lowering and decisions are instantaneous and free on the
+        // virtual timeline.
+        for e in &events[5..] {
+            assert_eq!(e.dur_s(), 0.0);
+            assert_eq!(e.energy_j(), 0.0);
+        }
     }
 
     #[test]

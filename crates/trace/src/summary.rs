@@ -48,6 +48,10 @@ pub struct Summary {
     pub compile_passes: usize,
     /// Wall-clock core-seconds spent in compiler passes.
     pub compile_s: f64,
+    /// Functions lowered to simulator bytecode (0 under the tree engine).
+    pub bytecode_lowers: usize,
+    /// Host wall-clock seconds spent lowering to bytecode.
+    pub lower_wall_s: f64,
     /// Core-seconds spent in access phases.
     pub access_s: f64,
     /// Core-seconds spent in execute phases.
@@ -121,6 +125,10 @@ impl Summary {
                     s.compile_s += dur_s;
                     lane.0 += dur_s;
                 }
+                TraceEvent::BytecodeLower { wall_s, .. } => {
+                    s.bytecode_lowers += 1;
+                    s.lower_wall_s += wall_s;
+                }
                 TraceEvent::GovernorDecision { .. } => {
                     s.governor_decisions += 1;
                 }
@@ -148,6 +156,8 @@ impl Summary {
             ("dvfs_transitions", self.dvfs_transitions.into()),
             ("governor_decisions", self.governor_decisions.into()),
             ("compile_passes", self.compile_passes.into()),
+            ("bytecode_lowers", self.bytecode_lowers.into()),
+            ("lower_wall_s", self.lower_wall_s.into()),
             (
                 "phase_s",
                 JsonValue::obj([

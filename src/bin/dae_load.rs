@@ -6,7 +6,7 @@
 //! ```text
 //! dae-load [--addr HOST:PORT] [--requests N] [--clients N] [--seed S]
 //!          [--mix compile|run|mixed] [--workers 1,2,8] [--trials N]
-//!          [--out <file>] [--allow-shed]
+//!          [--engine tree|bytecode] [--out <file>] [--allow-shed]
 //! ```
 //!
 //! Two modes:
@@ -18,11 +18,14 @@
 //!   per `--workers` entry (default `1,2,8`), each warmed and driven with
 //!   the same seeded mix, compared against a serial cold-engine baseline;
 //!   writes `BENCH_serve_workers.json` with a `speedup_vs_serial_cold`
-//!   column.
+//!   column. `--engine` selects the simulator execution engine for the
+//!   in-process servers and the baseline, making tree-vs-bytecode
+//!   throughput A/B runs one command each (in `--addr` mode the engine is
+//!   whatever the remote daemon was started with, so the flag is refused).
 //!
 //! Reports land in `target/repro/` unless `--out` says otherwise.
 
-use dae_repro::serve::{bench_workers, run_load, LoadConfig, Mix};
+use dae_repro::serve::{bench_workers, run_load, EngineKind, LoadConfig, Mix};
 use dae_repro::trace::json::JsonValue;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +38,7 @@ struct Args {
     mix: Mix,
     workers: Vec<usize>,
     trials: usize,
+    engine: Option<EngineKind>,
     out: Option<PathBuf>,
     allow_shed: bool,
 }
@@ -48,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         mix: Mix::Compile,
         workers: vec![1, 2, 8],
         trials: 3,
+        engine: None,
         out: None,
         allow_shed: false,
     };
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--trials must be at least 1".into());
                 }
             }
+            "--engine" => args.engine = Some(EngineKind::parse(&value("--engine")?)?),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--allow-shed" => args.allow_shed = true,
             other => {
@@ -94,10 +100,15 @@ fn parse_args() -> Result<Args, String> {
                     "unknown argument `{other}`\n\
                      usage: dae-load [--addr HOST:PORT] [--requests N] [--clients N] \
                      [--seed S] [--mix compile|run|mixed] [--workers 1,2,8] \
-                     [--trials N] [--out <file>] [--allow-shed]"
+                     [--trials N] [--engine tree|bytecode] [--out <file>] [--allow-shed]"
                 ))
             }
         }
+    }
+    if args.addr.is_some() && args.engine.is_some() {
+        return Err("--engine only applies to the self-contained bench mode (no --addr): \
+             a remote daemon's engine is fixed by its own --engine flag"
+            .into());
     }
     Ok(args)
 }
@@ -167,6 +178,7 @@ fn run_main() -> Result<(), String> {
                 args.seed,
                 args.mix,
                 args.trials,
+                args.engine.unwrap_or_default(),
             )
             .map_err(|e| format!("bench failed: {e}"))?;
             let out =

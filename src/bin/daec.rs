@@ -6,8 +6,9 @@
 //! ```text
 //! daec <file.dae> [--report] [--run] [--policy <spec>] [--hints a,b,c]
 //!      [--jobs N] [--cache-dir <dir>] [--cache-max-mb <mb>]
-//!      [--no-polyhedral] [--no-cfg-simplify] [--line-dedup]
-//!      [--prefetch-writes] [--trace-out <file> [--trace-format chrome|summary]]
+//!      [--engine tree|bytecode] [--no-polyhedral] [--no-cfg-simplify]
+//!      [--line-dedup] [--prefetch-writes]
+//!      [--trace-out <file> [--trace-format chrome|summary]]
 //! ```
 //!
 //! * `--report` — print per-task strategy/statistics instead of IR
@@ -25,6 +26,9 @@
 //!   online with the dae-governor
 //! * `--hints` — representative parameter values for profitability counts
 //!   (applied to every task)
+//! * `--engine` — simulator execution engine for `--run`/`--trace-out`
+//!   (`bytecode` by default; `tree` is the reference interpreter — results
+//!   are identical, bytecode is several times faster)
 //! * `--trace-out` — run every task once (decoupled where possible, under
 //!   the selected `--policy`) with event tracing on and write the trace to
 //!   `<file>`
@@ -40,7 +44,7 @@ use dae_repro::ir::{parse::parse_module, print_module, verify_module, Function};
 use dae_repro::runtime::{
     run_workload, run_workload_traced, CompileStats, FreqPolicy, RuntimeConfig, TaskInstance,
 };
-use dae_repro::sim::Val;
+use dae_repro::sim::{EngineKind, Val};
 use dae_repro::trace::{chrome, json::JsonValue, summary, Recorder};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -63,6 +67,7 @@ struct Args {
     jobs: usize,
     cache_dir: Option<PathBuf>,
     cache_max_mb: usize,
+    engine: EngineKind,
 }
 
 /// `Ok(None)` means the invocation was fully handled (e.g. `--policy help`).
@@ -78,6 +83,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut jobs = 1usize;
     let mut cache_dir = None;
     let mut cache_max_mb = 64usize;
+    let mut engine = EngineKind::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -127,6 +133,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                     return Err("--cache-max-mb must be at least 1".into());
                 }
             }
+            "--engine" => {
+                engine = EngineKind::parse(&it.next().ok_or("--engine needs a value")?)?;
+            }
             "--no-polyhedral" => opts.enable_polyhedral = false,
             "--no-cfg-simplify" => opts.cfg_simplify = false,
             "--line-dedup" => opts.line_dedup = true,
@@ -149,6 +158,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         jobs,
         cache_dir,
         cache_max_mb,
+        engine,
     }))
 }
 
@@ -270,7 +280,7 @@ fn run_main() -> Result<(), String> {
     if args.run {
         println!();
         let hints = &args.hints;
-        let base = RuntimeConfig::paper_default();
+        let base = RuntimeConfig::paper_default().with_engine(args.engine);
         let plabel = args.policy.label(&base.table);
         for task in &tasks {
             let f = module.func(*task);
@@ -309,7 +319,7 @@ fn run_main() -> Result<(), String> {
                 }
             })
             .collect();
-        let cfg = RuntimeConfig::paper_default().with_policy(args.policy);
+        let cfg = RuntimeConfig::paper_default().with_policy(args.policy).with_engine(args.engine);
         let mut rec = Recorder::new(cfg.cores);
         emit_spans(&outcome.spans, rec.cores(), &mut rec);
         let mut report =

@@ -7,6 +7,7 @@
 //! ```text
 //! daed [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!      [--cache-dir <dir>] [--cache-max-mb <mb>] [--max-global-mb <mb>]
+//!      [--engine tree|bytecode]
 //! ```
 //!
 //! * `--addr` — bind address (default `127.0.0.1:7777`; port 0 picks an
@@ -19,6 +20,9 @@
 //! * `--cache-max-mb` — in-memory artifact-cache byte budget (default 64)
 //! * `--max-global-mb` — refuse modules declaring more global data than
 //!   this, in MiB (default 256)
+//! * `--engine` — simulator execution engine for `run` requests
+//!   (`bytecode` by default; `tree` is the reference interpreter —
+//!   responses are identical either way)
 //!
 //! The first stdout line is machine-parseable:
 //! `daed: listening on 127.0.0.1:34567` — tests and scripts bind port 0
@@ -28,7 +32,7 @@
 //! `printf '{"id":1,"op":"health"}\n' | nc 127.0.0.1 7777`
 
 use dae_repro::driver::DriverConfig;
-use dae_repro::serve::{install_signal_drain, EngineConfig, Server, ServerConfig};
+use dae_repro::serve::{install_signal_drain, EngineConfig, EngineKind, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -39,6 +43,7 @@ struct Args {
     cache_dir: Option<PathBuf>,
     cache_max_mb: usize,
     max_global_mb: u64,
+    engine: EngineKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         cache_dir: None,
         cache_max_mb: 64,
         max_global_mb: 256,
+        engine: EngineKind::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -86,11 +92,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--max-global-mb must be at least 1".into());
                 }
             }
+            "--engine" => args.engine = EngineKind::parse(&value("--engine")?)?,
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\n\
                      usage: daed [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-                     [--cache-dir <dir>] [--cache-max-mb <mb>] [--max-global-mb <mb>]"
+                     [--cache-dir <dir>] [--cache-max-mb <mb>] [--max-global-mb <mb>] \
+                     [--engine tree|bytecode]"
                 ))
             }
         }
@@ -121,6 +129,7 @@ fn run_main() -> Result<(), String> {
                 mem_max_bytes: args.cache_max_mb << 20,
             },
             max_global_bytes: args.max_global_mb << 20,
+            engine: args.engine,
             ..EngineConfig::default()
         },
     };

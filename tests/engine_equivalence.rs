@@ -1,0 +1,452 @@
+//! Differential testing of the two execution engines: the tree-walking
+//! interpreter and the pre-lowered bytecode VM must be **observationally
+//! identical** — same results, same `PhaseTrace` (per-level hits/misses,
+//! `DemandMiss` dependence chains, instruction counts), same `InterpError`s
+//! at the same step counts, byte-identical `RunReport` JSON — on the
+//! benchmark corpus, on randomly generated programs, and on every graceful
+//! failure path (traps, type mismatches, step-limit boundaries, call-depth
+//! exhaustion).
+//!
+//! Driver-level determinism across `--jobs` counts and artifact-cache
+//! states is covered by `driver_equivalence.rs`; this suite adds the
+//! machine-level cache states (cold vs warm simulated caches, cold vs
+//! reused bytecode) on top.
+
+use dae_repro::ir::{BinOp, CmpOp, FuncId, FunctionBuilder, Module, Type, UnOp, Value};
+use dae_repro::mem::{CoreCaches, HierarchyConfig, SharedLlc};
+use dae_repro::runtime::{run_workload, FreqPolicy, RuntimeConfig};
+use dae_repro::sim::{BranchProfile, CachePort, EngineKind, InterpError, Machine, PhaseTrace, Val};
+use dae_repro::workloads::{self, Variant};
+use proptest::prelude::*;
+
+/// Everything observable from one interpreter run.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    result: Result<Option<Val>, InterpError>,
+    trace: PhaseTrace,
+    profile: Vec<(u64, u64)>,
+    memory: Vec<u64>,
+}
+
+/// Runs `func` on a fresh machine + cache hierarchy under `engine`,
+/// `runs` times back to back (later runs see warm simulated caches and,
+/// on the bytecode engine, the cached lowered program).
+fn observe(
+    m: &Module,
+    func: FuncId,
+    args: &[Val],
+    engine: EngineKind,
+    max_steps: u64,
+    max_call_depth: usize,
+    runs: usize,
+) -> Vec<Observation> {
+    let hc = HierarchyConfig::default();
+    let mut llc = SharedLlc::new(hc.llc);
+    let mut core = CoreCaches::new(&hc);
+    let mut machine = Machine::new(m);
+    machine.config.engine = engine;
+    machine.config.max_steps = max_steps;
+    machine.config.max_call_depth = max_call_depth;
+    (0..runs)
+        .map(|_| {
+            let mut trace = PhaseTrace::default();
+            let mut profile = BranchProfile::default();
+            let result = machine.run_with_profile(
+                func,
+                args,
+                &mut CachePort { core: &mut core, llc: &mut llc },
+                &mut trace,
+                &mut profile,
+            );
+            let mut memory = Vec::new();
+            for (g, data) in m.globals() {
+                let base = machine.memory.global_addr(g);
+                for k in 0..data.len {
+                    memory.push(machine.memory.read_u64(base + k * 8));
+                }
+            }
+            Observation { result, trace, profile: profile.counts, memory }
+        })
+        .collect()
+}
+
+/// Asserts tree ≡ bytecode for `func` at the given limits, over `runs`
+/// back-to-back executions (cold first run, warm later ones), and returns
+/// the agreed observations.
+fn assert_equivalent(
+    m: &Module,
+    func: FuncId,
+    args: &[Val],
+    max_steps: u64,
+    max_call_depth: usize,
+    runs: usize,
+) -> Vec<Observation> {
+    let tree = observe(m, func, args, EngineKind::Tree, max_steps, max_call_depth, runs);
+    let vm = observe(m, func, args, EngineKind::Bytecode, max_steps, max_call_depth, runs);
+    assert_eq!(tree, vm, "engines diverged (max_steps={max_steps})");
+    vm
+}
+
+/// Dynamic steps consumed by a completed run: every instruction bumps
+/// exactly one of `instrs`/`addr_ops`, terminators bump `instrs`.
+fn steps_of(o: &Observation) -> u64 {
+    o.trace.instrs + o.trace.addr_ops
+}
+
+fn first_func(m: &Module, name: &str) -> FuncId {
+    m.func_by_name(name).expect("function exists")
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: the seven paper benchmarks, whole-workload report equality.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corpus_run_reports_are_byte_identical() {
+    for mut w in workloads::all_benchmarks_small() {
+        w.compile_auto();
+        for (variant, policy) in [
+            (Variant::Cae, FreqPolicy::CoupledMax),
+            (Variant::AutoDae, FreqPolicy::DaeOptimal),
+            (Variant::ManualDae, FreqPolicy::DaeMinMax),
+        ] {
+            let tasks = w.tasks(variant);
+            let base = RuntimeConfig::paper_default().with_policy(policy);
+            let tree = run_workload(&w.module, &tasks, &base.clone().with_engine(EngineKind::Tree))
+                .expect("tree run");
+            let vm = run_workload(&w.module, &tasks, &base.with_engine(EngineKind::Bytecode))
+                .expect("bytecode run");
+            assert_eq!(
+                tree.to_json().to_json_string(),
+                vm.to_json().to_json_string(),
+                "{} {variant:?}: RunReport JSON diverged",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_traces_and_profiles_match_cold_and_warm() {
+    for mut w in workloads::all_benchmarks_small() {
+        w.compile_auto();
+        let tasks = w.tasks(Variant::Cae);
+        let t = &tasks[0];
+        // Two back-to-back runs: run 1 is cold (lowering happens, caches
+        // empty), run 2 reuses the warmed caches and the cached bytecode.
+        let obs = assert_equivalent(&w.module, t.func, &t.args, u64::MAX, 64, 2);
+        assert!(steps_of(&obs[0]) > 0, "{} ran no instructions", w.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Step-limit boundaries and call-depth traps.
+// ---------------------------------------------------------------------------
+
+fn loop_sum_module() -> Module {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("sum", vec![Type::I64], Type::I64);
+    let out = b.counted_loop_carried(
+        Value::i64(0),
+        Value::Arg(0),
+        Value::i64(1),
+        vec![Value::i64(0)],
+        |b, i, c| vec![b.iadd(c[0], i)],
+    );
+    b.ret(Some(out[0]));
+    m.add_function(b.finish());
+    m
+}
+
+#[test]
+fn step_limit_boundaries_are_exact() {
+    let m = loop_sum_module();
+    let f = first_func(&m, "sum");
+    let args = [Val::I(25)];
+    let full = assert_equivalent(&m, f, &args, u64::MAX, 64, 1);
+    assert_eq!(full[0].result, Ok(Some(Val::I(300))));
+    let total = steps_of(&full[0]);
+    // Sweep the budget through every interesting region, including both
+    // sides of the exact boundary: identical Result AND identical partial
+    // trace at every point.
+    for max_steps in [0, 1, 2, total / 2, total - 1, total, total + 1] {
+        let obs = assert_equivalent(&m, f, &args, max_steps, 64, 1);
+        if max_steps < total {
+            assert_eq!(obs[0].result, Err(InterpError::StepLimit), "budget {max_steps}");
+            assert_eq!(steps_of(&obs[0]), max_steps, "a failing step is not counted");
+        } else {
+            assert_eq!(obs[0].result, Ok(Some(Val::I(300))), "budget {max_steps}");
+        }
+    }
+}
+
+#[test]
+fn call_depth_traps_identically() {
+    // rec(n) { rec(n - 1) } — self-call by index (ids are dense, so the
+    // first function added is fn0); unconditional, so only the depth
+    // budget can stop it.
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("rec", vec![Type::I64], Type::I64);
+    let nm1 = b.isub(Value::Arg(0), 1i64);
+    let sub = b.call(FuncId(0), vec![nm1], Type::I64).expect("i64 callee");
+    let inc = b.iadd(sub, 1i64);
+    b.ret(Some(inc));
+    let installed = m.add_function(b.finish());
+    assert_eq!(installed, FuncId(0));
+    let f = first_func(&m, "rec");
+    for depth in [0usize, 1, 3, 7] {
+        let obs = assert_equivalent(&m, f, &[Val::I(100)], u64::MAX, depth, 1);
+        match &obs[0].result {
+            Err(InterpError::Trap(msg)) => assert_eq!(msg, "call depth exceeded"),
+            other => panic!("expected depth trap at {depth}, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful-failure parity: every InterpError variant, same error, same
+// partial trace.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn error_paths_are_identical() {
+    // Integer division by zero.
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("div", vec![Type::I64], Type::I64);
+    let q = b.idiv(7i64, Value::Arg(0));
+    b.ret(Some(q));
+    m.add_function(b.finish());
+    let obs = assert_equivalent(&m, first_func(&m, "div"), &[Val::I(0)], u64::MAX, 64, 1);
+    assert!(matches!(&obs[0].result, Err(InterpError::Trap(msg)) if msg.contains("division")));
+
+    // Remainder by zero.
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("rem", vec![Type::I64], Type::I64);
+    let q = b.binary(BinOp::IRem, 7i64, Value::Arg(0));
+    b.ret(Some(q));
+    m.add_function(b.finish());
+    let obs = assert_equivalent(&m, first_func(&m, "rem"), &[Val::I(0)], u64::MAX, 64, 1);
+    assert!(matches!(&obs[0].result, Err(InterpError::Trap(msg)) if msg.contains("remainder")));
+
+    // Type mismatch (iadd over a float), and its operand-order dependence.
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("bad", vec![], Type::I64);
+    let v = b.iadd(Value::f64(1.5), Value::i64(2));
+    b.ret(Some(v));
+    m.add_function(b.finish());
+    let obs = assert_equivalent(&m, first_func(&m, "bad"), &[], u64::MAX, 64, 1);
+    assert_eq!(obs[0].result, Err(InterpError::TypeMismatch { expected: "i64", got: "f64" }));
+
+    // Void load.
+    let mut m = Module::new();
+    let g = m.add_global("a", Type::F64, 1);
+    let mut b = FunctionBuilder::new("voidload", vec![], Type::Void);
+    let addr = b.elem_addr(Value::Global(g), Value::i64(0), Type::F64);
+    let _ = b.load(Type::Void, addr);
+    b.ret(None);
+    m.add_function(b.finish());
+    let obs = assert_equivalent(&m, first_func(&m, "voidload"), &[], u64::MAX, 64, 1);
+    assert_eq!(obs[0].result, Err(InterpError::LoadVoid));
+
+    // Arity trap, same message.
+    let m = loop_sum_module();
+    let obs = observe(&m, first_func(&m, "sum"), &[], EngineKind::Tree, u64::MAX, 64, 1);
+    let vm = observe(&m, first_func(&m, "sum"), &[], EngineKind::Bytecode, u64::MAX, 64, 1);
+    assert_eq!(obs, vm);
+    match &vm[0].result {
+        Err(InterpError::Trap(msg)) => {
+            assert_eq!(msg, "function `sum` expects 1 args, got 0");
+        }
+        other => panic!("expected arity trap, got {other:?}"),
+    }
+
+    // Out-of-range prefetches are counted then dropped by both engines.
+    let mut m = Module::new();
+    let _g = m.add_global("a", Type::F64, 8);
+    let mut b = FunctionBuilder::new("p", vec![], Type::Void);
+    let wild = b.unary(UnOp::IntToPtr, Value::i64(0x7fff_ffff));
+    b.prefetch(wild);
+    b.ret(None);
+    m.add_function(b.finish());
+    let obs = assert_equivalent(&m, first_func(&m, "p"), &[], u64::MAX, 64, 1);
+    assert_eq!(obs[0].trace.prefetches, 1);
+    assert_eq!(obs[0].trace.prefetch_hits.iter().sum::<u64>(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomly generated programs (proptest): results, traces, branch
+// profiles, memory images and exact step-limit boundaries.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    /// Integer arithmetic (add/sub/mul/xor/and — never traps).
+    IArith(u8, usize, usize),
+    /// Float arithmetic (add/mul/div/min — div exercises extra-latency).
+    FArith(u8, usize, usize),
+    /// sqrt of an accumulated float.
+    Sqrt(usize),
+    /// Data-dependent select between two floats.
+    Select(usize, usize, usize),
+    /// Indirect gather: idx[x & 31] then data[that] (dependent misses).
+    Gather(usize),
+    /// Store the running float at out[x & 31 in the row].
+    StoreAt(usize),
+    /// Software prefetch of data[x & 31] (in range) or a wild address.
+    Prefetch(usize, bool),
+    /// Call the helper `twice(x)` (exercises frames + arg passing).
+    Call(usize),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..5, 0usize..32, 0usize..32).prop_map(|(o, a, b)| GenOp::IArith(o, a, b)),
+        (0u8..4, 0usize..32, 0usize..32).prop_map(|(o, a, b)| GenOp::FArith(o, a, b)),
+        (0usize..32).prop_map(GenOp::Sqrt),
+        (0usize..32, 0usize..32, 0usize..32).prop_map(|(c, a, b)| GenOp::Select(c, a, b)),
+        (0usize..32).prop_map(GenOp::Gather),
+        (0usize..32).prop_map(GenOp::StoreAt),
+        (0usize..32, any::<bool>()).prop_map(|(a, w)| GenOp::Prefetch(a, w)),
+        (0usize..32).prop_map(GenOp::Call),
+    ]
+}
+
+/// Builds `task(base)` plus a `twice` helper: a nested loop over a 32×32
+/// grid mixing every instruction family both engines implement.
+fn build_random(ops: &[GenOp]) -> Module {
+    let n = 32i64;
+    let mut m = Module::new();
+    let data_init: Vec<f64> = (0..n * n).map(|k| (k as f64) * 0.125 + 1.0).collect();
+    let idx_init: Vec<i64> = (0..n).map(|k| (k * 13 + 5) % n).collect();
+    let data = workloads::common::init_f64_global(&mut m, "data", &data_init);
+    let idx = workloads::common::init_i64_global(&mut m, "idx", &idx_init);
+    let out = m.add_global("out", Type::F64, (n * n) as u64);
+
+    let mut hb = FunctionBuilder::new("twice", vec![Type::I64], Type::I64);
+    let d = hb.iadd(Value::Arg(0), Value::Arg(0));
+    hb.ret(Some(d));
+    let helper = m.add_function(hb.finish());
+
+    let mut b = FunctionBuilder::new("task", vec![Type::I64], Type::Void);
+    b.counted_loop(Value::i64(0), Value::i64(6), Value::i64(1), |b, i| {
+        let gi = b.iadd(Value::Arg(0), i);
+        b.counted_loop(Value::i64(0), Value::i64(6), Value::i64(1), |b, j| {
+            let mut ints: Vec<Value> = vec![gi, j, Value::i64(9)];
+            let mut floats: Vec<Value> = vec![Value::f64(1.5)];
+            let iops = [BinOp::IAdd, BinOp::ISub, BinOp::IMul, BinOp::Xor, BinOp::And];
+            let fops = [BinOp::FAdd, BinOp::FMul, BinOp::FDiv, BinOp::FMin];
+            for o in ops {
+                match o {
+                    GenOp::IArith(k, a, c) => {
+                        let v = b.binary(
+                            iops[*k as usize % iops.len()],
+                            ints[a % ints.len()],
+                            ints[c % ints.len()],
+                        );
+                        ints.push(v);
+                    }
+                    GenOp::FArith(k, a, c) => {
+                        let v = b.binary(
+                            fops[*k as usize % fops.len()],
+                            floats[a % floats.len()],
+                            floats[c % floats.len()],
+                        );
+                        floats.push(v);
+                    }
+                    GenOp::Sqrt(a) => {
+                        // Squared first so the operand is never negative
+                        // (NaN-free keeps FMin total-ordered).
+                        let x = floats[a % floats.len()];
+                        let sq = b.fmul(x, x);
+                        floats.push(b.unary(UnOp::FSqrt, sq));
+                    }
+                    GenOp::Select(c, x, y) => {
+                        let cond = b.cmp(CmpOp::Gt, ints[c % ints.len()], 3i64);
+                        let v = b.select(cond, floats[x % floats.len()], floats[y % floats.len()]);
+                        floats.push(v);
+                    }
+                    GenOp::Gather(a) => {
+                        let wrapped = b.and(ints[a % ints.len()], 31i64);
+                        let ia = b.elem_addr(Value::Global(idx), wrapped, Type::I64);
+                        let iv = b.load(Type::I64, ia);
+                        let da = b.elem_addr(Value::Global(data), iv, Type::F64);
+                        floats.push(b.load(Type::F64, da));
+                    }
+                    GenOp::StoreAt(a) => {
+                        let row = b.imul(gi, n);
+                        let wrapped = b.and(ints[a % ints.len()], 31i64);
+                        let cell = b.iadd(row, wrapped);
+                        let oa = b.elem_addr(Value::Global(out), cell, Type::F64);
+                        b.store(oa, *floats.last().expect("nonempty"));
+                    }
+                    GenOp::Prefetch(a, wild) => {
+                        if *wild {
+                            let p = b.unary(UnOp::IntToPtr, Value::i64(0x7fff_0000));
+                            b.prefetch(p);
+                        } else {
+                            let wrapped = b.and(ints[a % ints.len()], 31i64);
+                            let da = b.elem_addr(Value::Global(data), wrapped, Type::F64);
+                            b.prefetch(da);
+                        }
+                    }
+                    GenOp::Call(a) => {
+                        let v = b
+                            .call(helper, vec![ints[a % ints.len()]], Type::I64)
+                            .expect("twice returns i64");
+                        ints.push(v);
+                    }
+                }
+            }
+            // Unconditional observable effect + a data-dependent branch so
+            // the profile is never empty.
+            let row = b.imul(gi, n);
+            let cell = b.iadd(row, j);
+            let oa = b.elem_addr(Value::Global(out), cell, Type::F64);
+            let acc = *floats.last().expect("nonempty");
+            b.store(oa, acc);
+            let hot = b.cmp(CmpOp::Ge, *ints.last().expect("nonempty"), 0i64);
+            b.if_then(hot, |b| {
+                let da = b.elem_addr(Value::Global(data), j, Type::F64);
+                let _ = b.load(Type::F64, da);
+            });
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random programs: identical result, trace, branch profile and final
+    /// memory image — cold and warm — plus the exact step-limit boundary.
+    #[test]
+    fn random_programs_are_engine_invariant(ops in proptest::collection::vec(gen_op(), 1..14)) {
+        let m = build_random(&ops);
+        dae_repro::ir::verify_module(&m).expect("generated module verifies");
+        let f = first_func(&m, "task");
+        let args = [Val::I(3)];
+        let full = {
+            let tree = observe(&m, f, &args, EngineKind::Tree, u64::MAX, 64, 2);
+            let vm = observe(&m, f, &args, EngineKind::Bytecode, u64::MAX, 64, 2);
+            prop_assert_eq!(&tree, &vm, "full run diverged");
+            vm
+        };
+        prop_assert!(full[0].result.is_ok());
+        let total = steps_of(&full[0]);
+        // One step short of completion: both engines report StepLimit with
+        // identical partial traces; at the boundary both complete.
+        for (budget, completes) in [(total - 1, false), (total, true)] {
+            let tree = observe(&m, f, &args, EngineKind::Tree, budget, 64, 1);
+            let vm = observe(&m, f, &args, EngineKind::Bytecode, budget, 64, 1);
+            prop_assert_eq!(&tree, &vm, "budget {} diverged", budget);
+            if completes {
+                prop_assert!(vm[0].result.is_ok());
+            } else {
+                prop_assert_eq!(&vm[0].result, &Err(InterpError::StepLimit));
+                prop_assert_eq!(steps_of(&vm[0]), budget);
+            }
+        }
+    }
+}
