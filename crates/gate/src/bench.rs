@@ -1,0 +1,248 @@
+//! The gateway benchmark: `dae-load --target gate` →
+//! `BENCH_gate_workers.json`.
+//!
+//! # What the fleet actually buys on a small machine
+//!
+//! The backends are CPU-bound and this harness does not assume spare
+//! cores. What *does* scale with fleet size is **response-cache
+//! capacity**: each backend holds an LRU of memoised responses, and the
+//! gateway's consistent-hash routing sends each request key to one home
+//! backend, so the fleet's caches shard the working set instead of
+//! duplicating it.
+//!
+//! The bench makes that measurable deliberately:
+//!
+//! 1. A **probe pass** replays the seeded warm mix against one in-process
+//!    engine and sums the bytes of the distinct responses — the working
+//!    set `S`.
+//! 2. Every backend (and the direct-`daed` baseline) gets a response-cache
+//!    budget of `S/2`: one backend *cannot* hold the working set, three
+//!    shards (≈ `S/3` each, ±ring imbalance) can.
+//! 3. Each configuration is warmed with one full pass of the mix, then
+//!    measured. The baseline replays the same pass order, which is LRU's
+//!    pathological case at half capacity; the sharded fleet answers from
+//!    cache.
+//!
+//! The reported `speedup_vs_single_direct` is therefore a *cache
+//! capacity* effect — exactly the effect a `daeg` fleet exists to buy —
+//! not a parallel-CPU artefact that would evaporate on a 1-core host.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use dae_governor::SplitMix64;
+use dae_serve::load::{request_frame, shutdown};
+use dae_serve::{
+    parse_request, request_key, run_load, Engine, EngineConfig, LoadConfig, Mix, Server,
+    ServerConfig,
+};
+use dae_trace::json::JsonValue;
+
+use crate::gateway::{GateConfig, Gateway};
+
+/// Schema tag of the gateway bench JSON.
+pub const GATE_BENCH_SCHEMA: &str = "dae-gate-bench/1";
+
+/// Gateway-bench knobs.
+#[derive(Clone, Debug)]
+pub struct GateBenchConfig {
+    /// Fleet sizes to measure (each behind one gateway).
+    pub fleets: Vec<usize>,
+    /// Total requests per measured pass.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Seed of the request streams.
+    pub seed: u64,
+    /// Best-of trials per configuration.
+    pub trials: usize,
+    /// Gateway router threads.
+    pub routers: usize,
+}
+
+impl Default for GateBenchConfig {
+    fn default() -> Self {
+        GateBenchConfig {
+            fleets: vec![1, 2, 3],
+            requests: 240,
+            clients: 4,
+            seed: 42,
+            trials: 2,
+            routers: 8,
+        }
+    }
+}
+
+/// Replays the seeded warm mix against one unbounded in-process engine
+/// and returns `(distinct_requests, working_set_bytes)`: the number of
+/// distinct request keys and the total bytes of their cached responses.
+fn probe_working_set(cfg: &GateBenchConfig) -> (usize, usize) {
+    let engine =
+        Engine::new(&EngineConfig { resp_max_bytes: usize::MAX / 2, ..EngineConfig::default() });
+    let clients = cfg.clients.max(1);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut bytes = 0usize;
+    for c in 0..clients {
+        let share = cfg.requests / clients + if c < cfg.requests % clients { 1 } else { 0 };
+        let mut rng = SplitMix64::new(cfg.seed.wrapping_add((c as u64).wrapping_mul(0x9e37)));
+        for k in 0..share {
+            let frame = request_frame(Mix::Warm, &mut rng, (c * 1_000_000 + k) as u64);
+            let req = parse_request(&frame.to_json_string()).expect("generated frame is valid");
+            if !seen.insert(request_key(&req)) {
+                continue;
+            }
+            if let Ok(result) = engine.handle_raw(&req) {
+                bytes += result.len();
+            }
+        }
+    }
+    (seen.len(), bytes)
+}
+
+/// One backend daemon sized so it *cannot* hold the whole working set.
+fn spawn_backend(
+    resp_max_bytes: usize,
+    queue_depth: usize,
+) -> std::io::Result<(String, std::thread::JoinHandle<std::io::Result<()>>)> {
+    let server = Server::bind(&ServerConfig {
+        workers: 2,
+        queue_depth,
+        engine: EngineConfig { resp_max_bytes, ..EngineConfig::default() },
+        ..Default::default()
+    })?;
+    let addr = server.local_addr()?.to_string();
+    let handle = std::thread::spawn(move || server.run());
+    Ok((addr, handle))
+}
+
+/// Best-of-`trials` measured passes of the warm mix against `addr`,
+/// preceded by one unmeasured warming pass.
+fn measure(addr: &str, cfg: &GateBenchConfig) -> std::io::Result<dae_serve::LoadReport> {
+    let load = LoadConfig {
+        addr: addr.to_string(),
+        requests: cfg.requests,
+        clients: cfg.clients,
+        seed: cfg.seed,
+        mix: Mix::Warm,
+    };
+    run_load(&load)?; // warming pass: populates the response caches
+    let mut best = run_load(&load)?;
+    for _ in 1..cfg.trials.max(1) {
+        let again = run_load(&load)?;
+        if again.throughput_rps() > best.throughput_rps() {
+            best = again;
+        }
+    }
+    Ok(best)
+}
+
+/// Runs the full gateway bench and returns the
+/// `BENCH_gate_workers.json` document.
+pub fn bench_gate(cfg: &GateBenchConfig) -> std::io::Result<JsonValue> {
+    let t0 = Instant::now();
+    let (distinct, working_set) = probe_working_set(cfg);
+    // Half the working set: the single-backend baseline must thrash.
+    let budget = (working_set / 2).max(1);
+    let queue_depth = cfg.requests.max(64);
+
+    // Baseline: one daed, hit directly (no gateway in the path).
+    let (base_addr, base_handle) = spawn_backend(budget, queue_depth)?;
+    let baseline = measure(&base_addr, cfg)?;
+    shutdown(&base_addr)?;
+    base_handle.join().expect("baseline thread")?;
+
+    let mut entries = Vec::new();
+    for &fleet in &cfg.fleets {
+        let fleet = fleet.max(1);
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..fleet {
+            let (addr, handle) = spawn_backend(budget, queue_depth)?;
+            addrs.push(addr);
+            handles.push(handle);
+        }
+        let gateway = Gateway::bind(&GateConfig {
+            backends: addrs.clone(),
+            routers: cfg.routers.max(1),
+            queue_depth,
+            inflight_cap: cfg.clients.max(8),
+            ..GateConfig::default()
+        })?;
+        let gate_addr = gateway.local_addr()?.to_string();
+        let gate_handle = std::thread::spawn(move || gateway.run());
+        let report = measure(&gate_addr, cfg)?;
+        shutdown(&gate_addr)?;
+        gate_handle.join().expect("gateway thread")?;
+        for addr in &addrs {
+            shutdown(addr)?;
+        }
+        for h in handles {
+            h.join().expect("backend thread")?;
+        }
+        let mut entry = match report.to_json() {
+            JsonValue::Obj(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        entry.insert(1, ("backends".to_string(), fleet.into()));
+        entry.push((
+            "speedup_vs_single_direct".to_string(),
+            if baseline.throughput_rps() > 0.0 {
+                (report.throughput_rps() / baseline.throughput_rps()).into()
+            } else {
+                JsonValue::Null
+            },
+        ));
+        entries.push(JsonValue::Obj(entry));
+    }
+    Ok(JsonValue::obj([
+        ("schema", GATE_BENCH_SCHEMA.into()),
+        ("requests", cfg.requests.into()),
+        ("clients", cfg.clients.into()),
+        ("seed", cfg.seed.into()),
+        ("trials", cfg.trials.max(1).into()),
+        ("mix", Mix::Warm.label().into()),
+        ("distinct_requests", distinct.into()),
+        ("working_set_bytes", working_set.into()),
+        ("backend_cache_budget_bytes", budget.into()),
+        ("bench_wall_s", t0.elapsed().as_secs_f64().into()),
+        ("baseline_direct", baseline.to_json()),
+        ("gateways", JsonValue::Arr(entries)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_pass_finds_a_nonempty_working_set() {
+        let cfg = GateBenchConfig { requests: 16, clients: 2, ..GateBenchConfig::default() };
+        let (distinct, bytes) = probe_working_set(&cfg);
+        assert!(distinct > 1, "warm mix must spread over distinct requests");
+        assert!(distinct <= 16);
+        assert!(bytes > 0, "successful responses have bytes");
+        // Deterministic: the probe is a pure function of the seed.
+        assert_eq!((distinct, bytes), probe_working_set(&cfg));
+    }
+
+    #[test]
+    fn tiny_bench_end_to_end() {
+        let cfg = GateBenchConfig {
+            fleets: vec![2],
+            requests: 12,
+            clients: 2,
+            seed: 7,
+            trials: 1,
+            routers: 4,
+        };
+        let doc = bench_gate(&cfg).expect("bench runs");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(GATE_BENCH_SCHEMA));
+        let gws = doc.get("gateways").unwrap().as_arr().unwrap();
+        assert_eq!(gws.len(), 1);
+        let entry = &gws[0];
+        assert_eq!(entry.get("backends").unwrap().as_f64(), Some(2.0));
+        assert_eq!(entry.get("sent").unwrap().as_f64(), Some(12.0));
+        assert_eq!(entry.get("ok").unwrap().as_f64(), Some(12.0), "no failures through the gate");
+        assert!(entry.get("speedup_vs_single_direct").unwrap().as_f64().is_some());
+    }
+}

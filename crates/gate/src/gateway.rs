@@ -1,0 +1,807 @@
+//! The gateway daemon: accept → admit → route → forward → respond.
+//!
+//! ```text
+//!            readers (1/conn)      bounded queue       routers (N)
+//!  client ──► parse frame ──► admit ────────────► pop → pick backend
+//!     ▲         │   │           │ full → gate.overloaded   │ ring walk,
+//!     │         │   │           │ drain → gate.draining    │ retry, hedge
+//!     └─────────┴───┴───────────┴───────────◄──────────────┘
+//!                      response line (backend bytes, verbatim)
+//! ```
+//!
+//! The gateway speaks the exact `daed` wire protocol on both sides. A work
+//! frame is re-serialised once (canonically, with its deadline budget
+//! decremented by the time already spent inside the gateway) and the
+//! backend's response line passes through **verbatim** — the gateway never
+//! rewrites a successful response, which is what makes the fleet
+//! byte-identical to a single fresh engine.
+//!
+//! Routing is cache-affine: the ring key is [`dae_serve::request_key`],
+//! the same key the backends memoise responses under, so a repeated
+//! request lands on the backend that already holds its answer and the
+//! fleet's cache capacity adds up instead of overlapping.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dae_serve::{
+    err_response, ok_response, parse_request, signal_drain_requested, ErrorBody, Op, Push, Queue,
+    Request, MAX_FRAME_BYTES,
+};
+use dae_trace::json::JsonValue;
+use dae_trace::{Recorder, TraceEvent, TraceSink};
+
+use crate::backend::{Backend, CallError, HealthState};
+use crate::metrics::{codes, GateMetrics, GATE_HEALTH_SCHEMA};
+use crate::ring::Ring;
+
+/// Gateway construction knobs.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Backend `host:port` addresses (the fleet).
+    pub backends: Vec<String>,
+    /// Router threads forwarding work requests.
+    pub routers: usize,
+    /// Admission-queue capacity; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// Virtual nodes per backend on the routing ring.
+    pub vnodes: usize,
+    /// Per-backend in-flight cap: a home backend at the cap spills the
+    /// request to the next ring candidate (bounded load).
+    pub inflight_cap: usize,
+    /// Idle connections pooled per backend.
+    pub pool_cap: usize,
+    /// Consecutive failures before a backend is ejected.
+    pub eject_after: u32,
+    /// Cooldown before an ejected backend goes half-open.
+    pub readmit_ms: u64,
+    /// Health-probe period (0 disables probing).
+    pub probe_interval_ms: u64,
+    /// Per-attempt forwarding timeout.
+    pub attempt_timeout_ms: u64,
+    /// Extra forwarding attempts after the first failure.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `min(retry_base_ms << n, retry_cap_ms)`.
+    pub retry_base_ms: u64,
+    /// Backoff ceiling.
+    pub retry_cap_ms: u64,
+    /// Launch a hedge on the next backend if the primary has not answered
+    /// after this long (0 disables hedging).
+    pub hedge_after_ms: u64,
+    /// Record `GateRoute`/`BackendEject` trace events (unbounded memory
+    /// under sustained load; meant for short diagnostic runs).
+    pub trace: bool,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            routers: 8,
+            queue_depth: 128,
+            vnodes: 128,
+            inflight_cap: 32,
+            pool_cap: 8,
+            eject_after: 3,
+            readmit_ms: 500,
+            probe_interval_ms: 100,
+            attempt_timeout_ms: 10_000,
+            max_retries: 2,
+            retry_base_ms: 10,
+            retry_cap_ms: 200,
+            hedge_after_ms: 0,
+            trace: false,
+        }
+    }
+}
+
+/// One admitted work request, en route to a router thread.
+struct Job {
+    req: Request,
+    /// The client's frame exactly as received. With no deadline to
+    /// rewrite the gateway forwards these bytes verbatim instead of
+    /// re-serialising the (IR-sized) request per attempt.
+    raw: String,
+    conn: Arc<Conn>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The write half of a client connection (one mutex: lines never
+/// interleave).
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, line: &str) {
+        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.write_all(b"\n");
+        let _ = s.flush();
+    }
+}
+
+/// The gateway: a bound listener plus the shared routing state.
+pub struct Gateway {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    routers: usize,
+    probe_interval: Duration,
+}
+
+/// State shared by readers, routers and the probe thread.
+struct Shared {
+    fleet: Arc<Vec<Backend>>,
+    ring: Ring,
+    metrics: GateMetrics,
+    queue: Queue<Job>,
+    drain: AtomicBool,
+    started: Instant,
+    cfg: RouteCfg,
+    routers: usize,
+    recorder: Option<Mutex<Recorder>>,
+    probe_id: AtomicU64,
+}
+
+/// The routing knobs the hot path reads (copied out of [`GateConfig`]).
+#[derive(Clone, Copy)]
+struct RouteCfg {
+    inflight_cap: usize,
+    eject_after: u32,
+    readmit: Duration,
+    attempt_timeout: Duration,
+    max_retries: u32,
+    retry_base_ms: u64,
+    retry_cap_ms: u64,
+    hedge_after: Option<Duration>,
+}
+
+impl Gateway {
+    /// Binds the listener; routing starts with [`Gateway::run`].
+    pub fn bind(config: &GateConfig) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let fleet: Vec<Backend> = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| Backend::new(addr.clone(), i, config.pool_cap))
+            .collect();
+        let ring = Ring::new(&config.backends, config.vnodes);
+        let shared = Shared {
+            fleet: Arc::new(fleet),
+            ring,
+            metrics: GateMetrics::new(),
+            queue: Queue::new(config.queue_depth),
+            drain: AtomicBool::new(false),
+            started: Instant::now(),
+            cfg: RouteCfg {
+                inflight_cap: config.inflight_cap.max(1),
+                eject_after: config.eject_after.max(1),
+                readmit: Duration::from_millis(config.readmit_ms.max(1)),
+                attempt_timeout: Duration::from_millis(config.attempt_timeout_ms.max(1)),
+                max_retries: config.max_retries,
+                retry_base_ms: config.retry_base_ms,
+                retry_cap_ms: config.retry_cap_ms.max(config.retry_base_ms),
+                hedge_after: (config.hedge_after_ms > 0)
+                    .then(|| Duration::from_millis(config.hedge_after_ms)),
+            },
+            routers: config.routers.max(1),
+            recorder: config.trace.then(|| Mutex::new(Recorder::new(config.backends.len().max(1)))),
+            probe_id: AtomicU64::new(0),
+        };
+        Ok(Gateway {
+            listener,
+            shared: Arc::new(shared),
+            routers: config.routers.max(1),
+            probe_interval: Duration::from_millis(config.probe_interval_ms),
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a drain is requested (a `shutdown` frame or
+    /// SIGTERM/SIGINT), completes all admitted work, and returns. Every
+    /// admitted request is answered before `run` returns.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            for _ in 0..self.routers {
+                scope.spawn(|| router_loop(&self.shared));
+            }
+            if !self.probe_interval.is_zero() && !self.shared.fleet.is_empty() {
+                scope.spawn(|| probe_loop(&self.shared, self.probe_interval));
+            }
+            while !self.draining() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        let shared = Arc::clone(&self.shared);
+                        std::thread::spawn(move || reader_loop(stream, shared));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            self.shared.drain.store(true, Ordering::SeqCst);
+            self.shared.queue.close();
+            // Scope exit joins routers and the probe thread.
+        });
+        Ok(())
+    }
+
+    /// The captured trace events (empty when `trace` was off).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &self.shared.recorder {
+            Some(r) => r.lock().unwrap_or_else(|e| e.into_inner()).events().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of trace lanes (backends) for exporters.
+    pub fn trace_lanes(&self) -> usize {
+        self.shared.fleet.len().max(1)
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::SeqCst) || signal_drain_requested()
+    }
+}
+
+impl Shared {
+    fn record(&self, event: TraceEvent) {
+        if let Some(r) = &self.recorder {
+            r.lock().unwrap_or_else(|e| e.into_inner()).record(event);
+        }
+    }
+
+    /// Seconds since gateway start (the trace time base).
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Frames newline-delimited requests off one client connection until EOF.
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let conn = match stream.try_clone() {
+        Ok(w) => Arc::new(Conn { stream: Mutex::new(w) }),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&frame[..nl]);
+            let line = line.trim();
+            if !line.is_empty() {
+                handle_frame(line, &conn, &shared);
+            }
+        }
+        if buf.len() > MAX_FRAME_BYTES {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let e = ErrorBody::new(
+                dae_serve::codes::TOO_LARGE,
+                format!("frame exceeds {MAX_FRAME_BYTES} bytes before its newline"),
+            );
+            conn.send(&err_response(&JsonValue::Null, &e));
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed frame: control ops inline, work ops into the queue.
+fn handle_frame(line: &str, conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err((id, e)) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            conn.send(&err_response(&id, &e));
+            return;
+        }
+    };
+    match req.op {
+        Op::Stats => {
+            let backends =
+                shared.fleet.iter().map(|b| b.to_json(shared.cfg.readmit)).collect::<Vec<_>>();
+            let body = shared.metrics.to_json(
+                shared.started,
+                shared.queue.len(),
+                shared.routers,
+                backends,
+            );
+            conn.send(&ok_response(&req.id, body));
+        }
+        Op::Health => {
+            let draining = shared.drain.load(Ordering::SeqCst)
+                || shared.queue.is_closed()
+                || signal_drain_requested();
+            let mut up = 0usize;
+            for b in shared.fleet.iter() {
+                if b.state(shared.cfg.readmit) == HealthState::Up {
+                    up += 1;
+                }
+            }
+            let body = JsonValue::obj([
+                ("schema", GATE_HEALTH_SCHEMA.into()),
+                ("status", if draining { "draining" } else { "ok" }.into()),
+                ("backends", shared.fleet.len().into()),
+                ("backends_up", up.into()),
+                ("queue_depth", shared.queue.len().into()),
+                ("queue_capacity", shared.queue.capacity().into()),
+            ]);
+            conn.send(&ok_response(&req.id, body));
+        }
+        Op::Shutdown => {
+            conn.send(&ok_response(&req.id, JsonValue::obj([("draining", true.into())])));
+            shared.drain.store(true, Ordering::SeqCst);
+            shared.queue.close();
+        }
+        Op::Compile | Op::Report | Op::Run => {
+            let deadline = (req.deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(req.deadline_ms));
+            let job = Job {
+                req,
+                raw: line.trim_end().to_string(),
+                conn: Arc::clone(conn),
+                admitted: Instant::now(),
+                deadline,
+            };
+            match shared.queue.push(job) {
+                Push::Queued => {
+                    shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Push::Full(job) => {
+                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    let e = ErrorBody::new(
+                        codes::OVERLOADED,
+                        format!(
+                            "gateway queue full ({} deep); retry later",
+                            shared.queue.capacity()
+                        ),
+                    );
+                    job.conn.send(&err_response(&job.req.id, &e));
+                }
+                Push::Closed(job) => {
+                    shared.metrics.refused_draining.fetch_add(1, Ordering::Relaxed);
+                    let e = ErrorBody::new(codes::DRAINING, "gateway is draining");
+                    job.conn.send(&err_response(&job.req.id, &e));
+                }
+            }
+        }
+    }
+}
+
+/// Pops admitted jobs and routes each through the fleet.
+fn router_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let waited = job.admitted.elapsed();
+        let t0 = Instant::now();
+        let (line, ok) = route(shared, &job);
+        job.conn.send(&line);
+        shared.metrics.record_done(
+            ok,
+            waited.as_secs_f64(),
+            waited.as_secs_f64() + t0.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+/// Routes one work request: candidate walk, bounded-load spill, retries
+/// with capped exponential backoff, optional hedging. Returns the
+/// response line (backend bytes verbatim on success) and whether it is a
+/// success frame.
+fn route(shared: &Arc<Shared>, job: &Job) -> (String, bool) {
+    let cfg = shared.cfg;
+    if deadline_expired(job) {
+        shared.metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        let e = ErrorBody::new(
+            codes::DEADLINE,
+            format!("deadline of {} ms expired in the gateway queue", job.req.deadline_ms),
+        );
+        return (err_response(&job.req.id, &e), false);
+    }
+    let key = dae_serve::request_key(&job.req);
+    let candidates = shared.ring.candidates(key);
+    if candidates.is_empty() {
+        return (no_backends(job), false);
+    }
+    // Admitted candidates in key order, honouring health state.
+    let admitted: Vec<usize> =
+        candidates.iter().copied().filter(|&b| shared.fleet[b].admit(cfg.readmit)).collect();
+    if admitted.is_empty() {
+        return (no_backends(job), false);
+    }
+    // Bounded load: rotate past candidates already at their in-flight cap.
+    // If every admitted backend is saturated, shed — queueing more onto a
+    // saturated fleet only grows tail latency.
+    let start = match admitted
+        .iter()
+        .position(|&b| shared.fleet[b].inflight.load(Ordering::Relaxed) < cfg.inflight_cap)
+    {
+        Some(i) => i,
+        None => {
+            shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            let e = ErrorBody::new(
+                codes::OVERLOADED,
+                format!("all {} routable backends at in-flight cap", admitted.len()),
+            );
+            return (err_response(&job.req.id, &e), false);
+        }
+    };
+    let spilled = start > 0 || admitted[0] != candidates[0];
+    if spilled {
+        shared.metrics.spills.fetch_add(1, Ordering::Relaxed);
+    }
+    let order: Vec<usize> = admitted[start..].iter().chain(&admitted[..start]).copied().collect();
+
+    let id_json = job.req.id.to_json_string();
+    let route_start_s = shared.now_s();
+    let t0 = Instant::now();
+
+    // Fast path: without hedging there is never more than one attempt in
+    // flight, so the attempt loop runs inline in this router thread —
+    // `Backend::call` already enforces the per-attempt timeout through
+    // socket deadlines. The channel-and-thread machinery below exists
+    // only for concurrent hedged attempts; spawning a thread per
+    // forwarded request costs more than the forward itself on the warm
+    // path.
+    if cfg.hedge_after.is_none() {
+        let mut attempts: u32 = 0;
+        loop {
+            let backend_idx = order[attempts as usize % order.len()];
+            let rebuilt;
+            let line: &str = match job.deadline {
+                None => &job.raw,
+                Some(_) => {
+                    rebuilt = forward_line(&job.req, job.deadline);
+                    &rebuilt
+                }
+            };
+            let timeout = attempt_timeout(cfg, job.deadline);
+            attempts += 1;
+            match shared.fleet[backend_idx].call(line, &id_json, timeout) {
+                Ok(resp) => {
+                    note_route_success(shared, backend_idx);
+                    shared.record(TraceEvent::GateRoute {
+                        core: backend_idx as u32,
+                        key,
+                        backend: shared.fleet[backend_idx].addr.clone(),
+                        attempts,
+                        hedged: false,
+                        spilled,
+                        start_s: route_start_s,
+                        dur_s: t0.elapsed().as_secs_f64(),
+                    });
+                    return (resp, true);
+                }
+                Err(err) => {
+                    note_route_failure(shared, backend_idx, &err);
+                    if attempts <= cfg.max_retries && !deadline_expired(job) && order.len() > 1 {
+                        let backoff = retry_backoff(cfg, attempts);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    return route_failed(job, shared, attempts, &err.describe());
+                }
+            }
+        }
+    }
+
+    let (tx, rx) = channel::<(usize, Result<String, CallError>)>();
+    let launch = |slot: usize| {
+        let backend_idx = order[slot % order.len()];
+        let line = match job.deadline {
+            None => job.raw.clone(),
+            Some(_) => forward_line(&job.req, job.deadline),
+        };
+        let timeout = attempt_timeout(cfg, job.deadline);
+        let fleet = Arc::clone(&shared.fleet);
+        let id_json = id_json.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let result = fleet[backend_idx].call(&line, &id_json, timeout);
+            let _ = tx.send((backend_idx, result));
+        });
+    };
+
+    let mut attempts: u32 = 1;
+    let mut hedged = false;
+    let mut outstanding = 1usize;
+    let mut next_slot = 1usize;
+    let mut last_error = String::new();
+    launch(0);
+    loop {
+        let wait = match (cfg.hedge_after, hedged) {
+            (Some(h), false) => h,
+            _ => cfg.attempt_timeout + Duration::from_millis(100),
+        };
+        match rx.recv_timeout(wait) {
+            Ok((backend_idx, Ok(resp))) => {
+                note_route_success(shared, backend_idx);
+                if hedged && backend_idx != order[0] {
+                    shared.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.record(TraceEvent::GateRoute {
+                    core: backend_idx as u32,
+                    key,
+                    backend: shared.fleet[backend_idx].addr.clone(),
+                    attempts,
+                    hedged,
+                    spilled,
+                    start_s: route_start_s,
+                    dur_s: t0.elapsed().as_secs_f64(),
+                });
+                return (resp, true);
+            }
+            Ok((backend_idx, Err(err))) => {
+                outstanding -= 1;
+                last_error = err.describe();
+                note_route_failure(shared, backend_idx, &err);
+                // A backend-origin failure is retryable on another
+                // backend: every work op is deterministic, so a second
+                // execution is safe (idempotent).
+                let retries_left = attempts <= cfg.max_retries;
+                if retries_left && !deadline_expired(job) && order.len() > 1 {
+                    let backoff = retry_backoff(cfg, attempts);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                    launch(next_slot);
+                    next_slot += 1;
+                    outstanding += 1;
+                } else if outstanding == 0 {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let (Some(_), false) = (cfg.hedge_after, hedged) {
+                    hedged = true;
+                    if order.len() > 1 && !deadline_expired(job) {
+                        shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                        attempts += 1;
+                        launch(next_slot);
+                        next_slot += 1;
+                        outstanding += 1;
+                    }
+                } else if outstanding == 0 {
+                    break;
+                }
+                // With attempts still outstanding, keep waiting: each has
+                // a hard per-attempt timeout and will report back.
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    route_failed(job, shared, attempts, &last_error)
+}
+
+/// The terminal failure response of a route: `gate.deadline` if the
+/// client's budget ran out along the way, `gate.upstream` otherwise.
+fn route_failed(
+    job: &Job,
+    shared: &Arc<Shared>,
+    attempts: u32,
+    last_error: &str,
+) -> (String, bool) {
+    if deadline_expired(job) {
+        shared.metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        let e = ErrorBody::new(
+            codes::DEADLINE,
+            format!("deadline of {} ms expired while routing", job.req.deadline_ms),
+        );
+        return (err_response(&job.req.id, &e), false);
+    }
+    let e = ErrorBody::new(
+        codes::UPSTREAM,
+        format!("{attempts} attempt(s) failed; last: {last_error}"),
+    );
+    (err_response(&job.req.id, &e), false)
+}
+
+fn no_backends(job: &Job) -> String {
+    let e = ErrorBody::new(codes::NO_BACKENDS, "no routable backend (all ejected or draining)");
+    err_response(&job.req.id, &e)
+}
+
+fn deadline_expired(job: &Job) -> bool {
+    matches!(job.deadline, Some(d) if Instant::now() >= d)
+}
+
+/// Per-attempt timeout: the configured cap, shrunk to the remaining
+/// deadline budget when one exists.
+fn attempt_timeout(cfg: RouteCfg, deadline: Option<Instant>) -> Duration {
+    match deadline {
+        Some(d) => {
+            let remaining = d.saturating_duration_since(Instant::now());
+            cfg.attempt_timeout.min(remaining).max(Duration::from_millis(1))
+        }
+        None => cfg.attempt_timeout,
+    }
+}
+
+/// Capped exponential backoff before retry `attempt` (1-based).
+fn retry_backoff(cfg: RouteCfg, attempt: u32) -> Duration {
+    let exp = cfg.retry_base_ms.saturating_mul(1u64 << attempt.min(16).saturating_sub(1));
+    Duration::from_millis(exp.min(cfg.retry_cap_ms))
+}
+
+fn note_route_success(shared: &Arc<Shared>, backend_idx: usize) {
+    if shared.fleet[backend_idx].note_success() {
+        shared.metrics.readmits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn note_route_failure(shared: &Arc<Shared>, backend_idx: usize, err: &CallError) {
+    let b = &shared.fleet[backend_idx];
+    if let Some(failures) = b.note_failure(shared.cfg.eject_after) {
+        shared.metrics.ejects.fetch_add(1, Ordering::Relaxed);
+        b.drop_pool();
+        shared.record(TraceEvent::BackendEject {
+            core: backend_idx as u32,
+            backend: b.addr.clone(),
+            reason: err.describe(),
+            failures,
+            start_s: shared.now_s(),
+        });
+    }
+}
+
+/// The canonical forward frame: the client's fields re-serialised with
+/// the deadline budget decremented by the time already spent here. The
+/// backend's response-cache key ignores `id` and `deadline_ms`, so the
+/// rewrite never breaks cache affinity.
+fn forward_line(req: &Request, deadline: Option<Instant>) -> String {
+    let mut pairs: Vec<(String, JsonValue)> = Vec::with_capacity(6);
+    pairs.push(("id".to_string(), req.id.clone()));
+    pairs.push(("op".to_string(), JsonValue::Str(req.op.as_str().to_string())));
+    pairs.push(("ir".to_string(), JsonValue::Str(req.ir.clone())));
+    if !req.hints.is_empty() {
+        let hints = req.hints.iter().map(|&h| JsonValue::Num(h as f64)).collect();
+        pairs.push(("hints".to_string(), JsonValue::Arr(hints)));
+    }
+    if let Some(policy) = &req.policy {
+        pairs.push(("policy".to_string(), JsonValue::Str(policy.clone())));
+    }
+    if let Some(d) = deadline {
+        let remaining_ms = d.saturating_duration_since(Instant::now()).as_millis() as u64;
+        // Never forward 0 (= "no deadline"): an expired budget surfaces as
+        // `gate.deadline` here, not as an unbounded request there.
+        pairs.push(("deadline_ms".to_string(), JsonValue::Num(remaining_ms.max(1) as f64)));
+    }
+    JsonValue::Obj(pairs).to_json_string()
+}
+
+/// Probes every backend's `health` op on a fixed period, driving the
+/// state machine from probe results: failures eject, `draining` bodies
+/// quarantine, recoveries re-admit.
+fn probe_loop(shared: &Arc<Shared>, interval: Duration) {
+    while !(shared.drain.load(Ordering::SeqCst) || signal_drain_requested()) {
+        for b in shared.fleet.iter() {
+            shared.metrics.probes.fetch_add(1, Ordering::Relaxed);
+            let id = shared.probe_id.fetch_add(1, Ordering::Relaxed);
+            let line = format!("{{\"id\":\"gate-probe-{id}\",\"op\":\"health\"}}");
+            let id_json = format!("\"gate-probe-{id}\"");
+            match b.call(&line, &id_json, Duration::from_millis(250)) {
+                Ok(resp) => {
+                    let draining = dae_trace::json::parse(&resp)
+                        .ok()
+                        .and_then(|v| {
+                            v.get("result")
+                                .and_then(|r| r.get("status"))
+                                .and_then(JsonValue::as_str)
+                                .map(|s| s == "draining")
+                        })
+                        .unwrap_or(false);
+                    if draining {
+                        if b.note_draining() {
+                            shared.record(TraceEvent::BackendEject {
+                                core: b.index as u32,
+                                backend: b.addr.clone(),
+                                reason: "draining".to_string(),
+                                failures: 0,
+                                start_s: shared.now_s(),
+                            });
+                        }
+                    } else if b.note_success() {
+                        shared.metrics.readmits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(err) => {
+                    if let Some(failures) = b.note_failure(shared.cfg.eject_after) {
+                        shared.metrics.ejects.fetch_add(1, Ordering::Relaxed);
+                        b.drop_pool();
+                        shared.record(TraceEvent::BackendEject {
+                            core: b.index as u32,
+                            backend: b.addr.clone(),
+                            reason: err.describe(),
+                            failures,
+                            start_s: shared.now_s(),
+                        });
+                    }
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(deadline_ms: u64) -> Request {
+        parse_request(&format!(
+            r#"{{"id":7,"op":"compile","ir":"x","hints":[4,8],"policy":"dae-optimal","deadline_ms":{deadline_ms}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_line_decrements_the_deadline_budget() {
+        let r = req(10_000);
+        let deadline = Instant::now() + Duration::from_millis(600);
+        let line = forward_line(&r, Some(deadline));
+        let v = dae_trace::json::parse(&line).unwrap();
+        let fwd = v.get("deadline_ms").unwrap().as_f64().unwrap();
+        assert!((1.0..=600.0).contains(&fwd), "forwarded budget {fwd} not decremented");
+        assert_eq!(v.get("op").unwrap().as_str(), Some("compile"));
+        assert_eq!(v.get("policy").unwrap().as_str(), Some("dae-optimal"));
+        assert_eq!(v.get("hints").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn forward_line_is_reparsable_and_key_stable() {
+        let r = req(0);
+        let line = forward_line(&r, None);
+        let reparsed = parse_request(&line).unwrap();
+        assert_eq!(dae_serve::request_key(&r), dae_serve::request_key(&reparsed));
+        assert!(!line.contains("deadline_ms"), "no budget means no deadline field");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let cfg = RouteCfg {
+            inflight_cap: 1,
+            eject_after: 1,
+            readmit: Duration::from_millis(1),
+            attempt_timeout: Duration::from_secs(1),
+            max_retries: 8,
+            retry_base_ms: 10,
+            retry_cap_ms: 80,
+            hedge_after: None,
+        };
+        assert_eq!(retry_backoff(cfg, 1), Duration::from_millis(10));
+        assert_eq!(retry_backoff(cfg, 2), Duration::from_millis(20));
+        assert_eq!(retry_backoff(cfg, 3), Duration::from_millis(40));
+        assert_eq!(retry_backoff(cfg, 4), Duration::from_millis(80));
+        assert_eq!(retry_backoff(cfg, 9), Duration::from_millis(80), "capped");
+    }
+}

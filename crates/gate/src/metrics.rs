@@ -1,0 +1,168 @@
+//! Gateway-level counters, latency histograms and the `stats` body.
+//!
+//! Everything here is either atomic or behind a short-lived mutex so the
+//! hot path never blocks on stats readers. The JSON shape is versioned
+//! (`dae-gate-stats/1`) like the serving layer's, and per-backend detail
+//! comes from [`crate::backend::Backend::to_json`] — this module only owns
+//! the aggregate view.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dae_trace::json::JsonValue;
+use dae_trace::LogHistogram;
+
+/// Stable schema tag for the gateway `stats` response body.
+pub const GATE_STATS_SCHEMA: &str = "dae-gate-stats/1";
+
+/// Stable schema tag for the gateway `health` response body.
+pub const GATE_HEALTH_SCHEMA: &str = "dae-gate-health/1";
+
+/// Stable machine-readable error codes the gateway itself emits.
+/// Backend-origin errors pass through verbatim with their `serve.*` codes.
+pub mod codes {
+    /// The gateway admission queue is full; retry with backoff.
+    pub const OVERLOADED: &str = "gate.overloaded";
+    /// The gateway is draining and no longer admits work requests.
+    pub const DRAINING: &str = "gate.draining";
+    /// The request's deadline budget expired inside the gateway.
+    pub const DEADLINE: &str = "gate.deadline";
+    /// No routable backend exists (all ejected or draining).
+    pub const NO_BACKENDS: &str = "gate.no-backends";
+    /// Every forwarding attempt failed; the last upstream error is quoted.
+    pub const UPSTREAM: &str = "gate.upstream";
+    /// A gateway bug surfaced as a response (never expected).
+    pub const INTERNAL: &str = "gate.internal";
+}
+
+/// Aggregate gateway counters and latency histograms.
+#[derive(Default)]
+pub struct GateMetrics {
+    /// Frames admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered with `ok: true` (from any backend).
+    pub completed: AtomicU64,
+    /// Requests answered with an error frame (gate- or backend-origin).
+    pub failed: AtomicU64,
+    /// Frames shed at admission with `gate.overloaded`.
+    pub shed: AtomicU64,
+    /// Work frames refused with `gate.draining`.
+    pub refused_draining: AtomicU64,
+    /// Requests whose deadline budget expired inside the gateway.
+    pub deadline_expired: AtomicU64,
+    /// Frames rejected before routing (parse / validation errors).
+    pub bad_requests: AtomicU64,
+    /// Forwarding attempts beyond the first, excluding hedges.
+    pub retries: AtomicU64,
+    /// Hedge attempts launched.
+    pub hedges: AtomicU64,
+    /// Hedge attempts that produced the winning response.
+    pub hedge_wins: AtomicU64,
+    /// Requests routed off their home backend by the bounded-load rule.
+    pub spills: AtomicU64,
+    /// Backend ejections (consecutive-failure trips and failed trials).
+    pub ejects: AtomicU64,
+    /// Backends returned to `Up` after ejection or drain.
+    pub readmits: AtomicU64,
+    /// Health probes sent.
+    pub probes: AtomicU64,
+    /// End-to-end gateway latency for answered requests.
+    pub latency: Mutex<LogHistogram>,
+    /// Time spent queued before a router thread picked the request up.
+    pub queue_wait: Mutex<LogHistogram>,
+}
+
+impl GateMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> GateMetrics {
+        GateMetrics::default()
+    }
+
+    /// Records one answered request.
+    pub fn record_done(&self, ok: bool, queue_wait_s: f64, total_s: f64) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        lock(&self.queue_wait).record(queue_wait_s);
+        lock(&self.latency).record(total_s);
+    }
+
+    /// The `stats` response body. `backends` carries per-backend objects
+    /// built by the caller (which owns the fleet), `queue_depth` the
+    /// current admission-queue occupancy.
+    pub fn to_json(
+        &self,
+        started: Instant,
+        queue_depth: usize,
+        routers: usize,
+        backends: Vec<JsonValue>,
+    ) -> JsonValue {
+        let c = |a: &AtomicU64| JsonValue::from(a.load(Ordering::Relaxed));
+        JsonValue::obj([
+            ("schema", GATE_STATS_SCHEMA.into()),
+            ("uptime_s", started.elapsed().as_secs_f64().into()),
+            ("routers", routers.into()),
+            ("queue_depth", queue_depth.into()),
+            ("accepted", c(&self.accepted)),
+            ("completed", c(&self.completed)),
+            ("failed", c(&self.failed)),
+            ("shed", c(&self.shed)),
+            ("refused_draining", c(&self.refused_draining)),
+            ("deadline_expired", c(&self.deadline_expired)),
+            ("bad_requests", c(&self.bad_requests)),
+            ("retries", c(&self.retries)),
+            ("hedges", c(&self.hedges)),
+            ("hedge_wins", c(&self.hedge_wins)),
+            ("spills", c(&self.spills)),
+            ("ejects", c(&self.ejects)),
+            ("readmits", c(&self.readmits)),
+            ("probes", c(&self.probes)),
+            ("latency", lock(&self.latency).to_json()),
+            ("queue_wait", lock(&self.queue_wait).to_json()),
+            ("backends", JsonValue::Arr(backends)),
+        ])
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_body_has_schema_and_counters() {
+        let m = GateMetrics::new();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.record_done(true, 0.001, 0.010);
+        m.record_done(false, 0.002, 0.020);
+        let body = m.to_json(Instant::now(), 1, 4, vec![JsonValue::obj([("addr", "x".into())])]);
+        assert_eq!(body.get("schema").unwrap().as_str().unwrap(), GATE_STATS_SCHEMA);
+        assert_eq!(body.get("accepted").unwrap().as_f64().unwrap(), 3.0);
+        assert_eq!(body.get("completed").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(body.get("failed").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(body.get("backends").unwrap().as_arr().unwrap().len(), 1);
+        let lat = body.get("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn codes_are_dotted_and_gate_scoped() {
+        for c in [
+            codes::OVERLOADED,
+            codes::DRAINING,
+            codes::DEADLINE,
+            codes::NO_BACKENDS,
+            codes::UPSTREAM,
+            codes::INTERNAL,
+        ] {
+            assert!(c.starts_with("gate."), "{c}");
+            assert!(!c.contains(' '));
+        }
+    }
+}

@@ -147,6 +147,24 @@ impl Engine {
         }
     }
 
+    /// The execution engine simulated `run` requests use.
+    pub fn kind(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Response-cache counters only (hits, misses, bytes) — cheap enough
+    /// for the `health` fast path: unlike [`Engine::cache_json`] it never
+    /// touches the driver lock, so a health probe cannot stall behind a
+    /// long compile.
+    pub fn resp_cache_json(&self) -> JsonValue {
+        let r = lock(&self.resp);
+        JsonValue::obj([
+            ("resp_hits", r.hits.into()),
+            ("resp_misses", r.misses.into()),
+            ("resp_used_bytes", r.used_bytes.into()),
+        ])
+    }
+
     /// Lifetime cache counters and memory-tier occupancy, for `stats`.
     pub fn cache_json(&self) -> JsonValue {
         let (resp_hits, resp_misses, resp_used) = {
@@ -287,7 +305,11 @@ impl Engine {
 
 /// Content key of one work request: everything the response depends on.
 /// The `id` is deliberately excluded — it only decorates the envelope.
-fn request_key(req: &Request) -> u64 {
+///
+/// Public because the gateway (`dae-gate`) routes on exactly this key:
+/// consistent-hash routing on the response-cache key is what makes a
+/// repeated request land on the backend that already memoised it.
+pub fn request_key(req: &Request) -> u64 {
     let mut h = Fnv64::new();
     h.write(&[req.op as u8]);
     h.write_str(&req.ir);

@@ -48,10 +48,16 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use dae_driver::Fnv64;
 pub use dae_sim::EngineKind;
-pub use engine::{Engine, EngineConfig};
+pub use engine::{request_key, Engine, EngineConfig};
 pub use load::{bench_workers, run_load, LoadConfig, LoadReport, Mix};
 pub use metrics::{Metrics, STATS_SCHEMA};
-pub use proto::{codes, ErrorBody, Op, Request, MAX_FRAME_BYTES};
+pub use proto::{
+    codes, err_response, ok_response, ok_response_raw, parse_request, ErrorBody, Op, Request,
+    MAX_FRAME_BYTES,
+};
 pub use queue::{Push, Queue};
-pub use server::{install_signal_drain, Server, ServerConfig, HEALTH_SCHEMA};
+pub use server::{
+    install_signal_drain, signal_drain_requested, Server, ServerConfig, HEALTH_SCHEMA,
+};

@@ -83,16 +83,33 @@ pub enum Mix {
     Run,
     /// 3:1 compile-family to run.
     Mixed,
+    /// `run` requests with a wide hint spread: the corpus (and thus the
+    /// parse/compile path) stays familiar, but requests are mostly
+    /// distinct, so throughput is bounded by how much of the working set
+    /// the response-cache tier can actually hold — the mix the gateway's
+    /// cache-affinity routing exists for.
+    Warm,
 }
 
 impl Mix {
-    /// Parses `compile`, `run` or `mixed`.
+    /// Parses `compile`, `run`, `mixed` or `warm`.
     pub fn parse(s: &str) -> Result<Mix, String> {
         match s {
             "compile" => Ok(Mix::Compile),
             "run" => Ok(Mix::Run),
             "mixed" => Ok(Mix::Mixed),
-            other => Err(format!("unknown mix `{other}` (compile, run or mixed)")),
+            "warm" => Ok(Mix::Warm),
+            other => Err(format!("unknown mix `{other}` (compile, run, mixed or warm)")),
+        }
+    }
+
+    /// Stable lowercase name (the `--mix` spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::Compile => "compile",
+            Mix::Run => "run",
+            Mix::Mixed => "mixed",
+            Mix::Warm => "warm",
         }
     }
 
@@ -105,7 +122,7 @@ impl Mix {
                     "compile"
                 }
             }
-            Mix::Run => "run",
+            Mix::Run | Mix::Warm => "run",
             Mix::Mixed => match roll % 4 {
                 0 => "run",
                 1 => "report",
@@ -256,7 +273,9 @@ fn client_loop(cfg: &LoadConfig, client: u64, share: usize) -> std::io::Result<L
                     .and_then(|e| e.get("code"))
                     .and_then(JsonValue::as_str)
                     .unwrap_or("");
-                if code == crate::proto::codes::OVERLOADED {
+                // Both the daemon (`serve.overloaded`) and the gateway
+                // (`gate.overloaded`) shed with a `.overloaded` code.
+                if code.ends_with(".overloaded") {
                     report.shed += 1;
                 } else {
                     report.failed += 1;
@@ -274,13 +293,22 @@ fn client_loop(cfg: &LoadConfig, client: u64, share: usize) -> std::io::Result<L
 fn request_parts(mix: Mix, rng: &mut SplitMix64) -> (usize, &'static str, u64) {
     let variant = (rng.next_u64() % CORPUS as u64) as usize;
     let op = mix.op_for(rng.next_u64());
-    let hint = 64 + (rng.next_u64() % 4) * 64; // 64, 128, 192 or 256
+    let hint = match mix {
+        // Wide spread: up to 256 hints per program, so requests are
+        // mostly distinct and land on the response-cache *capacity*, not
+        // on one hot entry.
+        Mix::Warm => 8 * (rng.next_u64() % 256),
+        _ => 64 + (rng.next_u64() % 4) * 64, // 64, 128, 192 or 256
+    };
     (variant, op, hint)
 }
 
 /// The `id`s encode client and sequence so responses are traceable in a
-/// packet capture; the rng picks the program and the op.
-fn request_frame(mix: Mix, rng: &mut SplitMix64, id: u64) -> JsonValue {
+/// packet capture; the rng picks the program and the op. Public so other
+/// harnesses (the gateway bench) can replay the identical stream: client
+/// `c`'s rng is `SplitMix64::new(seed + c * 0x9e37)` and its ids are
+/// `c * 1_000_000 + k`.
+pub fn request_frame(mix: Mix, rng: &mut SplitMix64, id: u64) -> JsonValue {
     let (variant, op, hint) = request_parts(mix, rng);
     JsonValue::obj([
         ("id", id.into()),
@@ -393,15 +421,7 @@ pub fn bench_workers(
         ("seed", seed.into()),
         ("trials", trials.into()),
         ("engine", engine.label().into()),
-        (
-            "mix",
-            match mix {
-                Mix::Compile => "compile",
-                Mix::Run => "run",
-                Mix::Mixed => "mixed",
-            }
-            .into(),
-        ),
+        ("mix", mix.label().into()),
         ("baseline", baseline.to_json()),
         ("servers", JsonValue::Arr(servers)),
     ]))

@@ -13,8 +13,8 @@ use std::time::{Duration, Instant};
 use dae_trace::json::JsonValue;
 use dae_trace::LogHistogram;
 
-/// Schema tag of the `stats` result object.
-pub const STATS_SCHEMA: &str = "dae-serve-stats/1";
+/// Schema tag of the `stats` result object. `/2` added the engine kind.
+pub const STATS_SCHEMA: &str = "dae-serve-stats/2";
 
 /// Work-operation index into the per-op histogram array.
 #[derive(Clone, Copy)]
@@ -83,9 +83,16 @@ impl Metrics {
         lock(&self.service[op as usize]).record(service.as_secs_f64());
     }
 
-    /// The `stats` result object. `queue_depth` and the cache section are
-    /// sampled by the caller (they live outside this struct).
-    pub fn to_json(&self, queue_depth: usize, workers: usize, cache: JsonValue) -> JsonValue {
+    /// The `stats` result object. `queue_depth`, the engine label and the
+    /// cache section are sampled by the caller (they live outside this
+    /// struct).
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        engine: &str,
+        cache: JsonValue,
+    ) -> JsonValue {
         let c = |a: &AtomicU64| JsonValue::from(a.load(Ordering::Relaxed));
         let latency: Vec<(String, JsonValue)> = WORK_OPS
             .iter()
@@ -97,6 +104,7 @@ impl Metrics {
             ("schema", STATS_SCHEMA.into()),
             ("uptime_s", self.started.elapsed().as_secs_f64().into()),
             ("workers", workers.into()),
+            ("engine", engine.into()),
             ("queue_depth", queue_depth.into()),
             (
                 "requests",
@@ -138,10 +146,11 @@ mod tests {
         m.completed.store(4, Ordering::Relaxed);
         m.shed.store(1, Ordering::Relaxed);
         m.record(WorkOp::Run, Duration::from_micros(20), Duration::from_millis(3));
-        let v = m.to_json(2, 8, JsonValue::obj([("mem_hits", 7u64.into())]));
+        let v = m.to_json(2, 8, "bytecode", JsonValue::obj([("mem_hits", 7u64.into())]));
         assert_eq!(v.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
         assert_eq!(v.get("queue_depth").unwrap().as_f64(), Some(2.0));
         assert_eq!(v.get("workers").unwrap().as_f64(), Some(8.0));
+        assert_eq!(v.get("engine").unwrap().as_str(), Some("bytecode"));
         let r = v.get("requests").unwrap();
         assert_eq!(r.get("accepted").unwrap().as_f64(), Some(5.0));
         assert_eq!(r.get("shed").unwrap().as_f64(), Some(1.0));
@@ -160,7 +169,7 @@ mod tests {
         m.record(WorkOp::Compile, Duration::ZERO, Duration::from_millis(1));
         m.record(WorkOp::Compile, Duration::ZERO, Duration::from_millis(2));
         m.record(WorkOp::Report, Duration::ZERO, Duration::from_millis(1));
-        let v = m.to_json(0, 1, JsonValue::Null);
+        let v = m.to_json(0, 1, "tree", JsonValue::Null);
         let lat = v.get("latency").unwrap();
         assert_eq!(lat.get("compile").unwrap().get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(lat.get("report").unwrap().get("count").unwrap().as_f64(), Some(1.0));

@@ -38,8 +38,10 @@ use crate::proto::{
 };
 use crate::queue::{Push, Queue};
 
-/// Schema tag of the `health` result object.
-pub const HEALTH_SCHEMA: &str = "dae-serve-health/1";
+/// Schema tag of the `health` result object. `/2` added the routing
+/// inputs a gateway needs from one cheap probe: engine kind, queue
+/// depth/capacity, worker count and response-cache counters.
+pub const HEALTH_SCHEMA: &str = "dae-serve-health/2";
 
 /// Daemon construction knobs.
 #[derive(Clone, Debug)]
@@ -279,14 +281,25 @@ fn handle_frame(
     };
     match req.op {
         Op::Stats => {
-            let body = metrics.to_json(queue.len(), workers, engine.cache_json());
+            let body =
+                metrics.to_json(queue.len(), workers, engine.kind().label(), engine.cache_json());
             conn.send(&ok_response(&req.id, body));
         }
         Op::Health => {
-            let draining = drain.load(Ordering::SeqCst) || queue.is_closed();
+            // A SIGTERM counts as draining *immediately* — before the
+            // accept loop notices and closes the queue — so a gateway
+            // probing health stops routing to this backend before its
+            // socket disappears.
+            let draining =
+                drain.load(Ordering::SeqCst) || queue.is_closed() || signal_drain_requested();
             let body = JsonValue::obj([
                 ("schema", HEALTH_SCHEMA.into()),
                 ("status", if draining { "draining" } else { "ok" }.into()),
+                ("engine", engine.kind().label().into()),
+                ("workers", workers.into()),
+                ("queue_depth", queue.len().into()),
+                ("queue_capacity", queue.capacity().into()),
+                ("cache", engine.resp_cache_json()),
             ]);
             conn.send(&ok_response(&req.id, body));
         }

@@ -142,6 +142,24 @@ fn span_event(ev: &TraceEvent) -> JsonValue {
                 ("wall_s", (*wall_s).into()),
             ]),
         ),
+        TraceEvent::GateRoute { key, backend, attempts, hedged, spilled, .. } => (
+            format!("route [{backend}]"),
+            JsonValue::obj([
+                ("key", format!("{key:016x}").into()),
+                ("backend", backend.as_str().into()),
+                ("attempts", (*attempts).into()),
+                ("hedged", (*hedged).into()),
+                ("spilled", (*spilled).into()),
+            ]),
+        ),
+        TraceEvent::BackendEject { backend, reason, failures, .. } => (
+            format!("eject [{backend}]"),
+            JsonValue::obj([
+                ("backend", backend.as_str().into()),
+                ("reason", reason.as_str().into()),
+                ("failures", (*failures).into()),
+            ]),
+        ),
         TraceEvent::GovernorDecision {
             task,
             class,

@@ -191,6 +191,43 @@ pub enum TraceEvent {
         /// Host wall-clock spent lowering, in seconds.
         wall_s: f64,
     },
+    /// One work request routed by the serving gateway to a backend. Like
+    /// [`TraceEvent::CompilePass`] the interval is **host wall-clock**
+    /// seconds, relative to the gateway's start; the lane is the backend's
+    /// index in the gateway's pool.
+    GateRoute {
+        /// Index of the backend that answered (the lane the span renders on).
+        core: u32,
+        /// FNV route key of the request, rendered as fixed-width hex.
+        key: u64,
+        /// Address of the backend that answered.
+        backend: String,
+        /// Attempts it took (1 = first try; >1 means retries/failover).
+        attempts: u32,
+        /// True when a hedge request was launched for the tail.
+        hedged: bool,
+        /// True when bounded-load routing spilled the request off its
+        /// home ring node because that backend was at its in-flight cap.
+        spilled: bool,
+        /// Start in seconds since the gateway started.
+        start_s: f64,
+        /// End-to-end forwarding duration in seconds.
+        dur_s: f64,
+    },
+    /// The gateway ejected a backend from the routing ring (instantaneous;
+    /// host wall-clock timestamp like [`TraceEvent::GateRoute`]).
+    BackendEject {
+        /// Index of the ejected backend (its lane).
+        core: u32,
+        /// Address of the ejected backend.
+        backend: String,
+        /// Why: `probe-failures`, `request-failures` or `draining`.
+        reason: String,
+        /// Consecutive failures observed at ejection time.
+        failures: u32,
+        /// Time of the ejection in seconds since the gateway started.
+        start_s: f64,
+    },
     /// An online governor's per-task frequency decision (instantaneous:
     /// the decision itself costs no virtual time or energy).
     GovernorDecision {
@@ -223,6 +260,8 @@ impl TraceEvent {
             | TraceEvent::Idle { core, .. }
             | TraceEvent::CompilePass { core, .. }
             | TraceEvent::BytecodeLower { core, .. }
+            | TraceEvent::GateRoute { core, .. }
+            | TraceEvent::BackendEject { core, .. }
             | TraceEvent::GovernorDecision { core, .. } => *core,
         }
     }
@@ -236,6 +275,8 @@ impl TraceEvent {
             | TraceEvent::Idle { start_s, .. }
             | TraceEvent::CompilePass { start_s, .. }
             | TraceEvent::BytecodeLower { start_s, .. }
+            | TraceEvent::GateRoute { start_s, .. }
+            | TraceEvent::BackendEject { start_s, .. }
             | TraceEvent::GovernorDecision { start_s, .. } => *start_s,
         }
     }
@@ -247,8 +288,11 @@ impl TraceEvent {
             | TraceEvent::Overhead { dur_s, .. }
             | TraceEvent::DvfsTransition { dur_s, .. }
             | TraceEvent::Idle { dur_s, .. }
-            | TraceEvent::CompilePass { dur_s, .. } => *dur_s,
-            TraceEvent::BytecodeLower { .. } | TraceEvent::GovernorDecision { .. } => 0.0,
+            | TraceEvent::CompilePass { dur_s, .. }
+            | TraceEvent::GateRoute { dur_s, .. } => *dur_s,
+            TraceEvent::BytecodeLower { .. }
+            | TraceEvent::BackendEject { .. }
+            | TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
@@ -270,13 +314,15 @@ impl TraceEvent {
             TraceEvent::Idle { .. }
             | TraceEvent::CompilePass { .. }
             | TraceEvent::BytecodeLower { .. }
+            | TraceEvent::GateRoute { .. }
+            | TraceEvent::BackendEject { .. }
             | TraceEvent::GovernorDecision { .. } => 0.0,
         }
     }
 
     /// Stable category slug: `access`, `execute`, `overhead`, `dvfs`,
-    /// `idle`, `compile`, `lower` or `governor`. Exporters group and
-    /// reconcile spans by this.
+    /// `idle`, `compile`, `lower`, `route`, `eject` or `governor`.
+    /// Exporters group and reconcile spans by this.
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::Phase { kind, .. } => kind.as_str(),
@@ -285,6 +331,8 @@ impl TraceEvent {
             TraceEvent::Idle { .. } => "idle",
             TraceEvent::CompilePass { .. } => "compile",
             TraceEvent::BytecodeLower { .. } => "lower",
+            TraceEvent::GateRoute { .. } => "route",
+            TraceEvent::BackendEject { .. } => "eject",
             TraceEvent::GovernorDecision { .. } => "governor",
         }
     }
@@ -335,6 +383,23 @@ mod tests {
                 start_s: 0.0,
                 wall_s: 2e-6,
             },
+            TraceEvent::GateRoute {
+                core: 1,
+                key: 0xdead_beef,
+                backend: "127.0.0.1:7777".into(),
+                attempts: 2,
+                hedged: true,
+                spilled: false,
+                start_s: 3.0,
+                dur_s: 0.002,
+            },
+            TraceEvent::BackendEject {
+                core: 1,
+                backend: "127.0.0.1:7778".into(),
+                reason: "probe-failures".into(),
+                failures: 3,
+                start_s: 3.5,
+            },
             TraceEvent::GovernorDecision {
                 core: 1,
                 task: 7,
@@ -347,7 +412,13 @@ mod tests {
             },
         ];
         let cats: Vec<&str> = events.iter().map(|e| e.category()).collect();
-        assert_eq!(cats, ["execute", "overhead", "dvfs", "idle", "compile", "lower", "governor"]);
+        assert_eq!(
+            cats,
+            [
+                "execute", "overhead", "dvfs", "idle", "compile", "lower", "route", "eject",
+                "governor"
+            ]
+        );
         for e in &events {
             assert_eq!(e.core(), 1);
             assert!((e.end_s() - e.start_s() - e.dur_s()).abs() < 1e-15);
@@ -357,9 +428,12 @@ mod tests {
         // Compile passes burn wall-clock, not modelled energy.
         assert_eq!(events[4].energy_j(), 0.0);
         assert!((events[4].dur_s() - 0.01).abs() < 1e-15);
-        // Lowering and decisions are instantaneous and free on the
-        // virtual timeline.
-        for e in &events[5..] {
+        // Routing spans carry wall-clock duration but no modelled energy.
+        assert!((events[6].dur_s() - 0.002).abs() < 1e-15);
+        assert_eq!(events[6].energy_j(), 0.0);
+        // Lowering, ejections and decisions are instantaneous and free on
+        // the virtual timeline.
+        for e in [&events[5], &events[7], &events[8]] {
             assert_eq!(e.dur_s(), 0.0);
             assert_eq!(e.energy_j(), 0.0);
         }

@@ -52,6 +52,13 @@ pub struct Summary {
     pub bytecode_lowers: usize,
     /// Host wall-clock seconds spent lowering to bytecode.
     pub lower_wall_s: f64,
+    /// Gateway-routed requests recorded (0 unless the trace covers a
+    /// `daeg` run).
+    pub gate_routes: usize,
+    /// Wall-clock seconds spent forwarding routed requests.
+    pub route_s: f64,
+    /// Backend ejections recorded by the gateway.
+    pub backend_ejects: usize,
     /// Core-seconds spent in access phases.
     pub access_s: f64,
     /// Core-seconds spent in execute phases.
@@ -129,6 +136,14 @@ impl Summary {
                     s.bytecode_lowers += 1;
                     s.lower_wall_s += wall_s;
                 }
+                TraceEvent::GateRoute { dur_s, .. } => {
+                    s.gate_routes += 1;
+                    s.route_s += dur_s;
+                    lane.0 += dur_s;
+                }
+                TraceEvent::BackendEject { .. } => {
+                    s.backend_ejects += 1;
+                }
                 TraceEvent::GovernorDecision { .. } => {
                     s.governor_decisions += 1;
                 }
@@ -158,6 +173,8 @@ impl Summary {
             ("compile_passes", self.compile_passes.into()),
             ("bytecode_lowers", self.bytecode_lowers.into()),
             ("lower_wall_s", self.lower_wall_s.into()),
+            ("gate_routes", self.gate_routes.into()),
+            ("backend_ejects", self.backend_ejects.into()),
             (
                 "phase_s",
                 JsonValue::obj([

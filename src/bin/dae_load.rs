@@ -1,15 +1,17 @@
-//! `dae-load` — deterministic seeded load generator for `daed`.
+//! `dae-load` — deterministic seeded load generator for `daed` and `daeg`.
 //!
 //! Replays a reproducible request mix (see `dae_serve::load`) and writes a
-//! `BENCH_serve_*.json` report with throughput and latency percentiles.
+//! `BENCH_serve_*.json` / `BENCH_gate_*.json` report with throughput and
+//! latency percentiles.
 //!
 //! ```text
-//! dae-load [--addr HOST:PORT] [--requests N] [--clients N] [--seed S]
-//!          [--mix compile|run|mixed] [--workers 1,2,8] [--trials N]
+//! dae-load [--target serve|gate] [--addr HOST:PORT] [--requests N]
+//!          [--clients N] [--seed S] [--mix compile|run|mixed|warm]
+//!          [--workers 1,2,8] [--fleets 1,2,3] [--trials N]
 //!          [--engine tree|bytecode] [--out <file>] [--allow-shed]
 //! ```
 //!
-//! Two modes:
+//! `--target serve` (the default) measures the daemon itself:
 //!
 //! * **`--addr`** — drive an already-running daemon; writes
 //!   `BENCH_serve_load.json`. Exits non-zero if any request failed or was
@@ -23,34 +25,57 @@
 //!   throughput A/B runs one command each (in `--addr` mode the engine is
 //!   whatever the remote daemon was started with, so the flag is refused).
 //!
+//! `--target gate` measures the gateway:
+//!
+//! * **`--addr`** — drive an already-running `daeg`; writes
+//!   `BENCH_gate_load.json` (the protocol is identical, so the same mix
+//!   machinery applies; `gate.overloaded` counts as shed).
+//! * **no `--addr`** — the self-contained gateway benchmark: an in-process
+//!   fleet per `--fleets` entry (default `1,2,3`) behind one gateway, each
+//!   backend's response cache sized to *half* the probed working set so a
+//!   single backend must thrash, driven with the warm mix and compared
+//!   against a single direct `daed` baseline; writes
+//!   `BENCH_gate_workers.json` with a `speedup_vs_single_direct` column.
+//!
 //! Reports land in `target/repro/` unless `--out` says otherwise.
 
+use dae_repro::gate::{bench_gate, GateBenchConfig};
 use dae_repro::serve::{bench_workers, run_load, EngineKind, LoadConfig, Mix};
 use dae_repro::trace::json::JsonValue;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
+    target: Target,
     addr: Option<String>,
     requests: usize,
     clients: usize,
     seed: u64,
     mix: Mix,
     workers: Vec<usize>,
+    fleets: Vec<usize>,
     trials: usize,
     engine: Option<EngineKind>,
     out: Option<PathBuf>,
     allow_shed: bool,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Serve,
+    Gate,
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        target: Target::Serve,
         addr: None,
         requests: 200,
         clients: 4,
         seed: 42,
         mix: Mix::Compile,
         workers: vec![1, 2, 8],
+        fleets: vec![1, 2, 3],
         trials: 3,
         engine: None,
         out: None,
@@ -60,6 +85,13 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
         match a.as_str() {
+            "--target" => {
+                args.target = match value("--target")?.as_str() {
+                    "serve" => Target::Serve,
+                    "gate" => Target::Gate,
+                    other => return Err(format!("unknown target `{other}` (serve or gate)")),
+                }
+            }
             "--addr" => args.addr = Some(value("--addr")?),
             "--requests" => {
                 args.requests =
@@ -85,6 +117,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--workers needs positive counts, e.g. 1,2,8".into());
                 }
             }
+            "--fleets" => {
+                args.fleets = value("--fleets")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad fleets: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.fleets.is_empty() || args.fleets.contains(&0) {
+                    return Err("--fleets needs positive counts, e.g. 1,2,3".into());
+                }
+            }
             "--trials" => {
                 args.trials =
                     value("--trials")?.parse().map_err(|e| format!("bad trial count: {e}"))?;
@@ -98,9 +139,10 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\n\
-                     usage: dae-load [--addr HOST:PORT] [--requests N] [--clients N] \
-                     [--seed S] [--mix compile|run|mixed] [--workers 1,2,8] \
-                     [--trials N] [--engine tree|bytecode] [--out <file>] [--allow-shed]"
+                     usage: dae-load [--target serve|gate] [--addr HOST:PORT] [--requests N] \
+                     [--clients N] [--seed S] [--mix compile|run|mixed|warm] [--workers 1,2,8] \
+                     [--fleets 1,2,3] [--trials N] [--engine tree|bytecode] [--out <file>] \
+                     [--allow-shed]"
                 ))
             }
         }
@@ -108,6 +150,11 @@ fn parse_args() -> Result<Args, String> {
     if args.addr.is_some() && args.engine.is_some() {
         return Err("--engine only applies to the self-contained bench mode (no --addr): \
              a remote daemon's engine is fixed by its own --engine flag"
+            .into());
+    }
+    if args.target == Target::Gate && args.engine.is_some() {
+        return Err("--engine is not supported with --target gate \
+             (the gateway bench always uses the default engine)"
             .into());
     }
     Ok(args)
@@ -134,6 +181,9 @@ fn main() -> ExitCode {
 
 fn run_main() -> Result<(), String> {
     let args = parse_args()?;
+    if args.target == Target::Gate && args.addr.is_none() {
+        return run_gate_bench(&args);
+    }
     match &args.addr {
         Some(addr) => {
             let cfg = LoadConfig {
@@ -144,8 +194,11 @@ fn run_main() -> Result<(), String> {
                 mix: args.mix,
             };
             let report = run_load(&cfg).map_err(|e| format!("load against {addr} failed: {e}"))?;
-            let out =
-                args.out.unwrap_or_else(|| PathBuf::from("target/repro/BENCH_serve_load.json"));
+            let default_out = match args.target {
+                Target::Serve => "target/repro/BENCH_serve_load.json",
+                Target::Gate => "target/repro/BENCH_gate_load.json",
+            };
+            let out = args.out.unwrap_or_else(|| PathBuf::from(default_out));
             write_report(&out, &report.to_json())?;
             println!(
                 "dae-load: {} sent, {} ok, {} failed, {} shed \
@@ -209,4 +262,48 @@ fn run_main() -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// The self-contained gateway benchmark (`--target gate`, no `--addr`).
+fn run_gate_bench(args: &Args) -> Result<(), String> {
+    let cfg = GateBenchConfig {
+        fleets: args.fleets.clone(),
+        requests: args.requests,
+        clients: args.clients,
+        seed: args.seed,
+        trials: args.trials,
+        ..GateBenchConfig::default()
+    };
+    let doc = bench_gate(&cfg).map_err(|e| format!("gate bench failed: {e}"))?;
+    let out =
+        args.out.clone().unwrap_or_else(|| PathBuf::from("target/repro/BENCH_gate_workers.json"));
+    write_report(&out, &doc)?;
+    let base_rps = doc
+        .get("baseline_direct")
+        .and_then(|b| b.get("throughput_rps"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "dae-load: single direct daed baseline {base_rps:.1} req/s \
+         (cache budget {} KiB, working set {} KiB)",
+        doc.get("backend_cache_budget_bytes").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1024.0,
+        doc.get("working_set_bytes").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1024.0,
+    );
+    if let Some(gateways) = doc.get("gateways").and_then(JsonValue::as_arr) {
+        for g in gateways {
+            println!(
+                "dae-load: gateway x{} backends: {:.1} req/s ({:.2}x single direct), p99 {:.2} ms",
+                g.get("backends").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                g.get("throughput_rps").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                g.get("speedup_vs_single_direct").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                g.get("latency")
+                    .and_then(|l| l.get("p99_s"))
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0)
+                    * 1e3,
+            );
+        }
+    }
+    println!("dae-load: report -> {}", out.display());
+    Ok(())
 }

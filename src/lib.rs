@@ -23,6 +23,7 @@
 //! | [`runtime`] | task runtime: work stealing + per-phase DVFS |
 //! | [`governor`] | online profiling-guided per-phase DVFS governor |
 //! | [`serve`] | concurrent compile-and-simulate network service (`daed`) |
+//! | [`gate`] | sharded, fault-tolerant gateway over a `daed` fleet (`daeg`) |
 //! | [`trace`] | event-level tracing: Perfetto/Chrome-trace + summary JSON |
 //! | [`workloads`] | the seven evaluation benchmarks |
 //!
@@ -60,6 +61,7 @@
 pub use dae_analysis as analysis;
 pub use dae_core as compiler;
 pub use dae_driver as driver;
+pub use dae_gate as gate;
 pub use dae_governor as governor;
 pub use dae_ir as ir;
 pub use dae_mem as mem;
