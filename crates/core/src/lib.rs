@@ -55,6 +55,7 @@
 
 pub mod access_info;
 pub mod affine;
+pub mod dedup;
 pub mod generate;
 pub mod granularity;
 pub mod options;

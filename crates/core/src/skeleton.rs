@@ -89,6 +89,11 @@ pub fn generate_skeleton_access_profiled(
         return Err(RefuseReason::ControlDependsOnTaskWrites);
     }
 
+    // Profile-guided line dedup (measured prefetch accuracy said the
+    // element-granular streams are redundant): re-step eligible prefetch
+    // loops to one touch per cache line before strength reduction.
+    let f = if opts.line_dedup { crate::dedup::restep_prefetch_loops(&f) } else { f };
+
     // -O3 part two: strength-reduce the surviving address streams.
     let f = dae_analysis::transform::strength_reduce_and_clean(&f);
 

@@ -390,12 +390,17 @@ impl Cache {
 
     /// Stores an artifact under `key` in both tiers. Disk IO is
     /// best-effort; a failed write is silently skipped.
+    ///
+    /// The disk write is **atomic**: the JSON goes to a unique temp file
+    /// in the cache directory and is renamed into place, so a worker
+    /// killed mid-write can never leave a torn artifact for a later
+    /// validate-before-count lookup to reject.
     pub fn insert(&mut self, key: u64, artifact: Artifact) {
         if let Some(dir) = &self.dir {
             let ok = std::fs::create_dir_all(dir).is_ok()
-                && std::fs::write(
-                    Self::artifact_path(dir, key),
-                    artifact.to_json().to_json_string(),
+                && write_atomic(
+                    &Self::artifact_path(dir, key),
+                    artifact.to_json().to_json_string().as_bytes(),
                 )
                 .is_ok();
             if ok {
@@ -409,6 +414,31 @@ impl Cache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+}
+
+/// Writes `bytes` to `path` via a unique temp file in the same directory
+/// followed by a rename — the rename is the atomicity barrier, so
+/// concurrent readers only ever observe absent-or-complete artifacts.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp = dir.join(format!(
+        ".{base}.{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -518,6 +548,11 @@ mod tests {
             let mut c = Cache::new(64 << 10, Some(&dir));
             c.insert(key, generated_artifact());
             assert_eq!(c.stats().disk_writes, 1);
+        }
+        // The atomic write leaves no temp droppings behind.
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name();
+            assert!(name.to_str().unwrap().ends_with(".json"), "unexpected file {name:?}");
         }
         let mut c = Cache::new(64 << 10, Some(&dir));
         match c.lookup(key) {

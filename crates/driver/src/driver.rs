@@ -20,16 +20,18 @@
 //! scheduling freedom, and it is observable *only* in the wall-clock
 //! [`PassSpan`]s — never in the compiled module or its statistics.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use dae_core::{CompilerOptions, DaeMap, GeneratedAccess, RefuseReason};
 use dae_ir::{FuncId, Function, Module};
+use dae_pgo::{PhaseProfile, ProfileSet};
 use dae_trace::{TraceEvent, TraceSink};
 
 use crate::cache::{Artifact, Cache, CacheStats, InfoSummary};
-use crate::hash::task_key;
+use crate::hash::{refined_key, task_key};
 use crate::pass::{PassSpan, Pipeline};
 
 /// Driver construction knobs.
@@ -64,10 +66,16 @@ pub struct CompileOutcome {
     pub refused: usize,
     /// Tasks answered from the cache (hits, both tiers).
     pub from_cache: usize,
+    /// Tasks compiled (or replayed) under a profile-refined cache key.
+    pub refined: usize,
     /// Cache counter increments attributable to this compile.
     pub cache: CacheStats,
     /// Timed pass spans, grouped by task in task order.
     pub spans: Vec<PassSpan>,
+    /// The **base** (profile-independent) cache key of every task — what
+    /// profile collection keys records by, so a stored profile finds the
+    /// task again on the next compile regardless of refinement state.
+    pub keys: HashMap<FuncId, u64>,
 }
 
 /// One task's progress through probe → compile → merge.
@@ -84,6 +92,7 @@ pub struct Driver {
     pipeline: Pipeline,
     cache: Cache,
     jobs: usize,
+    profiles: ProfileSet,
 }
 
 impl Driver {
@@ -98,7 +107,22 @@ impl Driver {
             pipeline,
             cache: Cache::new(config.mem_max_bytes, config.cache_dir.as_deref()),
             jobs: config.jobs.max(1),
+            profiles: ProfileSet::new(),
         }
+    }
+
+    /// Installs the profile set consulted by subsequent [`Driver::compile`]
+    /// calls. A task whose **base** key has a profile compiles through the
+    /// `refine` pass under a profile-folded cache key; every other task —
+    /// and every task when the set is empty — stays on the static path,
+    /// byte-identical, same cache keys. Returns the previous set.
+    pub fn set_profiles(&mut self, profiles: ProfileSet) -> ProfileSet {
+        std::mem::replace(&mut self.profiles, profiles)
+    }
+
+    /// The installed profile set.
+    pub fn profiles(&self) -> &ProfileSet {
+        &self.profiles
     }
 
     /// The driver's pipeline.
@@ -131,13 +155,26 @@ impl Driver {
         let tasks = module.task_ids();
 
         // Probe phase (main thread, task order): resolve each task to a
-        // cached artifact or a work-list slot.
+        // cached artifact or a work-list slot. A task with a profile is
+        // keyed under `refined_key(base, profile_hash)` so refined
+        // artifacts never alias static ones and a profile change re-keys.
         let mut slots: Vec<Slot> = Vec::with_capacity(tasks.len());
         let mut task_spans: Vec<Vec<PassSpan>> = vec![Vec::new(); tasks.len()];
-        let mut work: Vec<(FuncId, CompilerOptions, u64)> = Vec::new();
+        let mut work: Vec<(FuncId, CompilerOptions, u64, Option<PhaseProfile>)> = Vec::new();
+        let mut base_keys: HashMap<FuncId, u64> = HashMap::with_capacity(tasks.len());
+        let mut refined = 0usize;
         for (i, &task) in tasks.iter().enumerate() {
             let opts = opts_for(task, module.func(task));
-            let key = task_key(module, task, &opts, fingerprint);
+            let base = task_key(module, task, &opts, fingerprint);
+            base_keys.insert(task, base);
+            let profile = self.profiles.get(base).copied().filter(|p| p.runs > 0);
+            let key = match &profile {
+                Some(p) => {
+                    refined += 1;
+                    refined_key(base, p.content_hash())
+                }
+                None => base,
+            };
             let start_s = origin.elapsed().as_secs_f64();
             match self.cache.lookup(key) {
                 Some(artifact) => {
@@ -153,7 +190,7 @@ impl Driver {
                 }
                 None => {
                     slots.push(Slot::Work(work.len()));
-                    work.push((task, opts, key));
+                    work.push((task, opts, key, profile));
                 }
             }
         }
@@ -164,10 +201,17 @@ impl Driver {
         let mut results: Vec<Option<TaskResult>> = Vec::with_capacity(work.len());
         results.resize_with(work.len(), || None);
         if self.jobs == 1 || work.len() <= 1 {
-            for (k, (task, opts, _)) in work.iter().enumerate() {
+            for (k, (task, opts, _, profile)) in work.iter().enumerate() {
                 let mut spans = Vec::new();
-                let res =
-                    self.pipeline.run_task(module, *task, opts.clone(), origin, 0, &mut spans);
+                let res = self.pipeline.run_task(
+                    module,
+                    *task,
+                    opts.clone(),
+                    *profile,
+                    origin,
+                    0,
+                    &mut spans,
+                );
                 results[k] = Some((res, spans));
             }
         } else {
@@ -183,12 +227,13 @@ impl Driver {
                             let mut out: Vec<(usize, TaskResult)> = Vec::new();
                             loop {
                                 let k = next.fetch_add(1, Ordering::Relaxed);
-                                let Some((task, opts, _)) = work.get(k) else { break };
+                                let Some((task, opts, _, profile)) = work.get(k) else { break };
                                 let mut spans = Vec::new();
                                 let res = pipeline.run_task(
                                     snapshot,
                                     *task,
                                     opts.clone(),
+                                    *profile,
                                     origin,
                                     w as u32,
                                     &mut spans,
@@ -218,8 +263,10 @@ impl Driver {
             generated: 0,
             refused: 0,
             from_cache: 0,
+            refined,
             cache: CacheStats::default(),
             spans: Vec::new(),
+            keys: base_keys,
         };
         for (i, (&task, slot)) in tasks.iter().zip(slots).enumerate() {
             match slot {
@@ -416,6 +463,50 @@ mod tests {
         // everything else misses.
         assert_eq!(out.cache.misses, 3);
         assert_eq!(out.from_cache, 1);
+    }
+
+    #[test]
+    fn profiles_rekey_tasks_and_can_flip_outcomes() {
+        use dae_pgo::{PhaseProfile, PhaseSample, ProfileSet};
+        // Static compile to learn the base keys.
+        let mut d = Driver::new(&DriverConfig::default());
+        let mut m = test_module();
+        let statics = d.compile(&mut m, opts_for);
+        assert_eq!(statics.keys.len(), 4, "every task reports its base key");
+        assert_eq!(statics.refined, 0);
+
+        // Profile stream1 with useless coverage: the refine pass refuses it.
+        let stream1 = *statics
+            .keys
+            .iter()
+            .find(|(&f, _)| m.func(f).name == "stream1")
+            .map(|(_, k)| k)
+            .expect("stream1 compiled");
+        let mut useless = PhaseProfile::default();
+        useless.absorb(
+            Some(&PhaseSample { instrs: 100, prefetches: 64, ..Default::default() }),
+            &PhaseSample { instrs: 400, loads: 64, dram_misses: 64, ..Default::default() },
+        );
+        let mut set = ProfileSet::new();
+        set.insert(stream1, useless);
+        d.set_profiles(set);
+
+        let mut refined_m = test_module();
+        let refined = d.compile(&mut refined_m, opts_for);
+        assert_eq!(refined.refined, 1, "exactly one task took the refined key");
+        // The profiled task misses the cache (new key) and is refused;
+        // the other three replay from the static compile untouched.
+        assert_eq!(refined.from_cache, 3);
+        assert_eq!(refined.refused, 2, "writeonly plus the profile-refused stream1");
+        assert_eq!(refined.generated, 2);
+
+        // Restoring the empty set restores the static result bit-for-bit.
+        d.set_profiles(ProfileSet::new());
+        let mut back = test_module();
+        let again = d.compile(&mut back, opts_for);
+        assert_eq!(again.refined, 0);
+        assert_eq!(again.from_cache, 4);
+        assert_eq!(print_module(&back), print_module(&m));
     }
 
     #[test]

@@ -144,6 +144,20 @@ pub fn task_key(
     h.finish()
 }
 
+/// Folds a profile's content hash into a base [`task_key`]: the cache key
+/// of a **profile-refined** compilation. Refined artifacts therefore
+/// never alias the static ones, and a profile change re-keys (and so
+/// recompiles) the task — an artifact can never go stale against the
+/// profile that shaped it. With no profile the base key is used directly,
+/// keeping the static pipeline's cache behaviour byte-identical.
+pub fn refined_key(base: u64, profile_hash: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dae-pgo-refined/1");
+    h.write_u64(base);
+    h.write_u64(profile_hash);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,5 +34,5 @@ pub mod pass;
 pub use cache::{artifact_approx_bytes, Artifact, Cache, CacheStats, InfoSummary, ARTIFACT_SCHEMA};
 pub use dae_ir::CodedError;
 pub use driver::{emit_spans, CompileOutcome, Driver, DriverConfig};
-pub use hash::{task_key, Fnv64};
+pub use hash::{refined_key, task_key, Fnv64};
 pub use pass::{Pass, PassSpan, Pipeline, TaskState};

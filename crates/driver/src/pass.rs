@@ -22,6 +22,7 @@ use dae_core::{
     GeneratedAccess, RefuseReason, Strategy, TaskAccessInfo,
 };
 use dae_ir::{FuncId, Function, Module};
+use dae_pgo::{plan_refinement, PhaseProfile, RefineThresholds};
 use std::time::Instant;
 
 use crate::hash::Fnv64;
@@ -60,6 +61,9 @@ pub struct TaskState<'m> {
     pub task: FuncId,
     /// Options for this task.
     pub opts: CompilerOptions,
+    /// The task's measured phase profile, when one exists. `None` (the
+    /// static path) makes the `refine` pass a strict no-op.
+    pub profile: Option<PhaseProfile>,
     /// The task body after inlining (and, later, cleanup).
     pub inlined: Option<Function>,
     /// The access analysis of the inlined body.
@@ -71,7 +75,7 @@ pub struct TaskState<'m> {
 impl<'m> TaskState<'m> {
     /// Fresh state for one task.
     pub fn new(module: &'m Module, task: FuncId, opts: CompilerOptions) -> Self {
-        TaskState { module, task, opts, inlined: None, info: None, generated: None }
+        TaskState { module, task, opts, profile: None, inlined: None, info: None, generated: None }
     }
 
     /// Drops one named state slot (pass-manager invalidation).
@@ -137,6 +141,44 @@ impl Pass for CleanupIr {
     }
 }
 
+/// Profile-guided refinement (§PGO): turns the task's measured
+/// [`PhaseProfile`] into option changes — or an outright refusal — before
+/// analysis and generation run. With no profile attached this pass is a
+/// strict no-op, keeping the static pipeline byte-identical.
+struct RefineFromProfile {
+    thresholds: RefineThresholds,
+}
+
+impl Pass for RefineFromProfile {
+    fn name(&self) -> &'static str {
+        "refine"
+    }
+
+    fn run(&self, st: &mut TaskState<'_>) -> Result<(), RefuseReason> {
+        let Some(profile) = &st.profile else { return Ok(()) };
+        let hints_present = st.opts.param_hints.iter().any(|&h| h != 0);
+        let plan = plan_refinement(profile, hints_present, &self.thresholds);
+        if plan.drop_access_phase {
+            // Measured coverage says the access phase fetches nothing
+            // execute would miss on: running it is pure overhead, so the
+            // task runs coupled like any other refusal.
+            return Err(RefuseReason::NothingToPrefetch);
+        }
+        if plan.line_dedup {
+            st.opts.line_dedup = true;
+        }
+        if plan.force_profitable {
+            st.opts.skip_hull_check = true;
+        }
+        if let Some(trips) = plan.trip_hint {
+            // The measured trip count stands in for absent caller hints.
+            let params = st.module.func(st.task).params.len();
+            st.opts.param_hints = vec![trips; params];
+        }
+        Ok(())
+    }
+}
+
 /// Extracts the affine access descriptors (Table 1's loop statistics).
 struct AnalyzeAccesses;
 
@@ -183,13 +225,18 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// The standard access-phase pipeline:
-    /// `inline → optimize → analyze → generate`.
+    /// `inline → optimize → refine → analyze → generate`.
+    ///
+    /// `refine` is profile-guided and a strict no-op for tasks without a
+    /// profile, so the static path stays byte-identical to
+    /// [`dae_core::generate_access`].
     pub fn standard() -> Pipeline {
         Pipeline {
             name: "dae-access",
             passes: vec![
                 Box::new(InlineTask),
                 Box::new(CleanupIr),
+                Box::new(RefineFromProfile { thresholds: RefineThresholds::default() }),
                 Box::new(AnalyzeAccesses),
                 Box::new(GenerateAccessPhase),
             ],
@@ -223,19 +270,25 @@ impl Pipeline {
     /// Runs every pass over `task`, timing each one relative to `origin`
     /// and appending a [`PassSpan`] per executed pass.
     ///
+    /// `profile` is the task's measured phase profile, consumed by the
+    /// `refine` pass; `None` keeps the static path byte-identical.
+    ///
     /// Read-only with respect to `module`; the caller merges the returned
     /// access function into the module (in deterministic task order).
+    #[allow(clippy::too_many_arguments)]
     pub fn run_task(
         &self,
         module: &Module,
         task: FuncId,
         opts: CompilerOptions,
+        profile: Option<PhaseProfile>,
         origin: Instant,
         worker: u32,
         spans: &mut Vec<PassSpan>,
     ) -> Result<GeneratedAccess, RefuseReason> {
         let func_name = module.func(task).name.clone();
         let mut st = TaskState::new(module, task, opts);
+        st.profile = profile;
         for pass in &self.passes {
             let start_s = origin.elapsed().as_secs_f64();
             let result = pass.run(&mut st);
@@ -287,7 +340,8 @@ mod tests {
         let reference = dae_core::generate_access(&m, t, &opts).expect("generates");
         let mut spans = Vec::new();
         let pipe = Pipeline::standard();
-        let ours = pipe.run_task(&m, t, opts, Instant::now(), 3, &mut spans).expect("generates");
+        let ours =
+            pipe.run_task(&m, t, opts, None, Instant::now(), 3, &mut spans).expect("generates");
         assert_eq!(
             print_function(&ours.func, None),
             print_function(&reference.func, None),
@@ -295,10 +349,10 @@ mod tests {
         );
         assert_eq!(ours.strategy, reference.strategy);
         assert_eq!(ours.info.total_loads, reference.info.total_loads);
-        assert_eq!(spans.len(), 4, "one span per pass");
+        assert_eq!(spans.len(), 5, "one span per pass");
         assert_eq!(
             spans.iter().map(|s| s.pass).collect::<Vec<_>>(),
-            ["inline", "optimize", "analyze", "generate"]
+            ["inline", "optimize", "refine", "analyze", "generate"]
         );
         assert!(spans.iter().all(|s| s.worker == 3 && !s.cached && s.dur_s >= 0.0));
         // Spans are ordered and non-overlapping within one task.
@@ -320,10 +374,10 @@ mod tests {
         let t = m.add_function(b.finish());
         let mut spans = Vec::new();
         let err = Pipeline::standard()
-            .run_task(&m, t, CompilerOptions::default(), Instant::now(), 0, &mut spans)
+            .run_task(&m, t, CompilerOptions::default(), None, Instant::now(), 0, &mut spans)
             .expect_err("refused");
         assert_eq!(err, RefuseReason::NothingToPrefetch);
-        assert_eq!(spans.len(), 4, "the failing pass still reports its span");
+        assert_eq!(spans.len(), 5, "the failing pass still reports its span");
     }
 
     #[test]
@@ -331,7 +385,54 @@ mod tests {
         assert_eq!(Pipeline::standard().fingerprint(), Pipeline::standard().fingerprint());
         assert_eq!(
             Pipeline::standard().pass_names(),
-            ["inline", "optimize", "analyze", "generate"]
+            ["inline", "optimize", "refine", "analyze", "generate"]
         );
+    }
+
+    #[test]
+    fn refine_pass_applies_a_profile_and_noops_without_one() {
+        use dae_pgo::{PhaseProfile, PhaseSample};
+        let (m, t) = module_with_task();
+        let opts = CompilerOptions { param_hints: vec![64], ..Default::default() };
+        let pipe = Pipeline::standard();
+        let origin = Instant::now();
+        let statics =
+            pipe.run_task(&m, t, opts.clone(), None, origin, 0, &mut Vec::new()).expect("static");
+
+        // A useless access phase (zero coverage) refuses the task.
+        let mut useless = PhaseProfile::default();
+        useless.absorb(
+            Some(&PhaseSample { instrs: 100, prefetches: 64, ..Default::default() }),
+            &PhaseSample { instrs: 400, loads: 64, dram_misses: 64, ..Default::default() },
+        );
+        let err = pipe
+            .run_task(&m, t, opts.clone(), Some(useless), origin, 0, &mut Vec::new())
+            .expect_err("refused by refine");
+        assert_eq!(err, RefuseReason::NothingToPrefetch);
+
+        // A healthy profile leaves the static output intact, and the same
+        // profile always produces the same bytes.
+        let mut healthy = PhaseProfile::default();
+        healthy.absorb(
+            Some(&PhaseSample {
+                instrs: 100,
+                prefetches: 64,
+                prefetch_dram_lines: 60,
+                ..Default::default()
+            }),
+            &PhaseSample { instrs: 400, loads: 64, dram_misses: 4, ..Default::default() },
+        );
+        let refined = pipe
+            .run_task(&m, t, opts.clone(), Some(healthy), origin, 0, &mut Vec::new())
+            .expect("generates");
+        assert_eq!(
+            print_function(&refined.func, None),
+            print_function(&statics.func, None),
+            "a profile that plans nothing must not change the output"
+        );
+        let again = pipe
+            .run_task(&m, t, opts, Some(healthy), origin, 0, &mut Vec::new())
+            .expect("generates");
+        assert_eq!(print_function(&again.func, None), print_function(&refined.func, None));
     }
 }

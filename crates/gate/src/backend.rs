@@ -118,6 +118,9 @@ pub struct Backend {
     pub failed: AtomicU64,
     /// Per-backend forwarding latency (successful attempts).
     latency: Mutex<LogHistogram>,
+    /// Latest `pgo` section scraped from this backend's `health` body
+    /// (`None` until a probe has seen one).
+    pgo: Mutex<Option<JsonValue>>,
 }
 
 impl Backend {
@@ -139,7 +142,18 @@ impl Backend {
             ok: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             latency: Mutex::new(LogHistogram::new()),
+            pgo: Mutex::new(None),
         }
+    }
+
+    /// Remembers the `pgo` section of the latest health probe.
+    pub fn note_pgo(&self, pgo: JsonValue) {
+        *lock(&self.pgo) = Some(pgo);
+    }
+
+    /// The latest scraped `pgo` section, if any probe carried one.
+    pub fn pgo_json(&self) -> Option<JsonValue> {
+        lock(&self.pgo).clone()
     }
 
     /// Current health state (with the Ejected → HalfOpen clock applied).
@@ -327,6 +341,7 @@ impl Backend {
             ("ok", self.ok.load(Ordering::Relaxed).into()),
             ("failed", self.failed.load(Ordering::Relaxed).into()),
             ("latency", lock(&self.latency).to_json()),
+            ("pgo", self.pgo_json().unwrap_or(JsonValue::Null)),
         ])
     }
 }

@@ -30,8 +30,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use dae_governor::SplitMix64;
-use dae_serve::load::{request_frame, shutdown};
+use dae_serve::load::{client_rng, request_frame, shutdown};
 use dae_serve::{
     parse_request, request_key, run_load, Engine, EngineConfig, LoadConfig, Mix, Server,
     ServerConfig,
@@ -84,7 +83,10 @@ fn probe_working_set(cfg: &GateBenchConfig) -> (usize, usize) {
     let mut bytes = 0usize;
     for c in 0..clients {
         let share = cfg.requests / clients + if c < cfg.requests % clients { 1 } else { 0 };
-        let mut rng = SplitMix64::new(cfg.seed.wrapping_add((c as u64).wrapping_mul(0x9e37)));
+        // The exact stream split `dae-load` uses (see `client_rng`'s doc):
+        // this is what makes `--target gate` and a direct-daed run draw
+        // identical per-client request sequences for a given seed.
+        let mut rng = client_rng(cfg.seed, c as u64);
         for k in 0..share {
             let frame = request_frame(Mix::Warm, &mut rng, (c * 1_000_000 + k) as u64);
             let req = parse_request(&frame.to_json_string()).expect("generated frame is valid");

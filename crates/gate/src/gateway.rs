@@ -354,6 +354,9 @@ fn handle_frame(line: &str, conn: &Arc<Conn>, shared: &Arc<Shared>) {
             ]);
             conn.send(&ok_response(&req.id, body));
         }
+        Op::Profiles => {
+            conn.send(&ok_response(&req.id, aggregate_profiles(shared)));
+        }
         Op::Shutdown => {
             conn.send(&ok_response(&req.id, JsonValue::obj([("draining", true.into())])));
             shared.drain.store(true, Ordering::SeqCst);
@@ -699,6 +702,68 @@ fn forward_line(req: &Request, deadline: Option<Instant>) -> String {
     JsonValue::Obj(pairs).to_json_string()
 }
 
+/// Fans a `profiles` request out to every routable backend and merges
+/// the answers: per-backend bodies verbatim plus fleet-wide totals
+/// (profile records held, recompile-worker counters) summed from them.
+fn aggregate_profiles(shared: &Arc<Shared>) -> JsonValue {
+    let mut backends = Vec::with_capacity(shared.fleet.len());
+    let mut records = 0.0f64;
+    let mut started = 0.0f64;
+    let mut completed = 0.0f64;
+    let mut swapped = 0.0f64;
+    for b in shared.fleet.iter() {
+        if b.state(shared.cfg.readmit) != HealthState::Up {
+            backends.push(JsonValue::obj([
+                ("addr", b.addr.as_str().into()),
+                ("ok", false.into()),
+                ("error", b.state(shared.cfg.readmit).as_str().into()),
+            ]));
+            continue;
+        }
+        let id = shared.probe_id.fetch_add(1, Ordering::Relaxed);
+        let line = format!("{{\"id\":\"gate-profiles-{id}\",\"op\":\"profiles\"}}");
+        let id_json = format!("\"gate-profiles-{id}\"");
+        match b.call(&line, &id_json, Duration::from_millis(1000)) {
+            Ok(resp) => {
+                let result = dae_trace::json::parse(&resp)
+                    .ok()
+                    .and_then(|v| v.get("result").cloned())
+                    .unwrap_or(JsonValue::Null);
+                let num = |v: &JsonValue, path: [&str; 2]| {
+                    v.get(path[0]).and_then(|s| s.get(path[1])).and_then(JsonValue::as_f64)
+                };
+                records += num(&result, ["store", "resident"]).unwrap_or(0.0);
+                started += num(&result, ["recompiles", "started"]).unwrap_or(0.0);
+                completed += num(&result, ["recompiles", "completed"]).unwrap_or(0.0);
+                swapped += num(&result, ["recompiles", "swapped"]).unwrap_or(0.0);
+                backends.push(JsonValue::obj([
+                    ("addr", b.addr.as_str().into()),
+                    ("ok", true.into()),
+                    ("result", result),
+                ]));
+            }
+            Err(err) => backends.push(JsonValue::obj([
+                ("addr", b.addr.as_str().into()),
+                ("ok", false.into()),
+                ("error", err.describe().into()),
+            ])),
+        }
+    }
+    JsonValue::obj([
+        ("schema", "dae-gate-profiles/1".into()),
+        (
+            "totals",
+            JsonValue::obj([
+                ("profile_records", records.into()),
+                ("recompiles_started", started.into()),
+                ("recompiles_completed", completed.into()),
+                ("recompiles_swapped", swapped.into()),
+            ]),
+        ),
+        ("backends", JsonValue::Arr(backends)),
+    ])
+}
+
 /// Probes every backend's `health` op on a fixed period, driving the
 /// state machine from probe results: failures eject, `draining` bodies
 /// quarantine, recoveries re-admit.
@@ -711,15 +776,19 @@ fn probe_loop(shared: &Arc<Shared>, interval: Duration) {
             let id_json = format!("\"gate-probe-{id}\"");
             match b.call(&line, &id_json, Duration::from_millis(250)) {
                 Ok(resp) => {
-                    let draining = dae_trace::json::parse(&resp)
-                        .ok()
-                        .and_then(|v| {
-                            v.get("result")
-                                .and_then(|r| r.get("status"))
-                                .and_then(JsonValue::as_str)
-                                .map(|s| s == "draining")
-                        })
+                    let result =
+                        dae_trace::json::parse(&resp).ok().and_then(|v| v.get("result").cloned());
+                    let draining = result
+                        .as_ref()
+                        .and_then(|r| r.get("status"))
+                        .and_then(JsonValue::as_str)
+                        .map(|s| s == "draining")
                         .unwrap_or(false);
+                    // Ride-along scrape: `/3` health bodies carry the
+                    // backend's profile/recompile counters for `stats`.
+                    if let Some(pgo) = result.as_ref().and_then(|r| r.get("pgo")) {
+                        b.note_pgo(pgo.clone());
+                    }
                     if draining {
                         if b.note_draining() {
                             shared.record(TraceEvent::BackendEject {

@@ -133,6 +133,45 @@ impl BanditEdp {
     fn class_seed(&self, class: TaskClass) -> u64 {
         self.cfg.seed ^ (class.func.0 as u64).rotate_left(32) ^ class.sig
     }
+
+    /// Warm-starts a class from a *profiled* memory-boundedness estimate
+    /// (PGO): every arm receives one synthetic pull whose mean EDP is
+    /// shaped as a V around the boundedness-implied operating point —
+    /// fully memory-bound phases point at the slowest arm, compute-bound
+    /// ones at the fastest. The synthetic pulls satisfy the systematic
+    /// sweep (at the default `min_pulls = 1`), so a profiled class skips
+    /// straight to greedy exploitation of the prior and real observations
+    /// immediately start correcting it (each arm's next credit halves the
+    /// prior's weight). `access_mem_bound = None` leaves the access
+    /// bandit dormant, exactly like a class that has only run coupled.
+    pub fn seed_prior(
+        &mut self,
+        class: TaskClass,
+        access_mem_bound: Option<f64>,
+        execute_mem_bound: f64,
+    ) {
+        let n = self.table.len();
+        let shape = |role: &mut Role, mem_bound: f64| {
+            role.ensure(n);
+            // Boundedness → target arm: arm 0 is the slowest point, so a
+            // fully memory-bound phase (1.0) targets it and a fully
+            // compute-bound phase (0.0) targets the fastest.
+            let mb = mem_bound.clamp(0.0, 1.0);
+            let target = ((1.0 - mb) * (n.saturating_sub(1)) as f64).round();
+            for (i, arm) in role.arms.iter_mut().enumerate() {
+                if arm.pulls == 0 {
+                    arm.pulls = 1;
+                    arm.mean_edp = 1.0 + 0.25 * (i as f64 - target).abs();
+                }
+            }
+        };
+        let e = self.cache.entry(class);
+        if let Some(mb) = access_mem_bound {
+            e.state.access_seen = true;
+            shape(&mut e.state.access, mb);
+        }
+        shape(&mut e.state.execute, execute_mem_bound);
+    }
 }
 
 impl Governor for BanditEdp {
@@ -369,6 +408,36 @@ mod tests {
             g.observe(c, &obs);
         }
         assert_eq!(g.decide(c).execute, FreqId(5));
+    }
+
+    #[test]
+    fn seeded_priors_skip_the_sweep_and_stay_correctable() {
+        let t = DvfsTable::sandybridge();
+        let n = t.len();
+        let cfg = BanditConfig { epsilon: 0.0, ..Default::default() };
+        let mut g = BanditEdp::new(t.clone(), cfg);
+        let c = class(0);
+        // A memory-bound execute phase (0.9) and a fully memory-bound
+        // access phase: priors point low on the table.
+        g.seed_prior(c, Some(1.0), 0.9);
+        let d = g.decide(c);
+        assert!(!d.explore, "priors satisfy the sweep — first decision is greedy");
+        assert_eq!(d.access, t.min(), "fully bound access prior picks the slowest arm");
+        let expect_e = ((1.0 - 0.9) * (n - 1) as f64).round() as usize;
+        assert_eq!(d.execute, FreqId(expect_e));
+        // Real feedback pointing elsewhere overrides the prior: one bad
+        // observation at the seeded arm halves the prior's weight and the
+        // greedy choice moves off it.
+        let ds = run(&mut g, c, 4, 1, n - 1);
+        assert!(
+            ds.iter().any(|d| d.execute.0 > expect_e),
+            "observations must pull decisions off a wrong prior: {ds:?}"
+        );
+        // Determinism: seeding the same prior twice yields the same run.
+        let mut g2 = BanditEdp::new(t, cfg);
+        g2.seed_prior(c, Some(1.0), 0.9);
+        let first = g2.decide(c);
+        assert_eq!((first.access, first.execute), (d.access, d.execute));
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! The profile record: per-phase counter aggregates, their derived
+//! signals, deterministic merging and the content hash.
+//!
+//! A [`PhaseProfile`] is the unit the store keys by the driver's
+//! `task_key`: one record per (task IR × options × pipeline) identity,
+//! accumulated over any number of runs. All aggregation is **saturating**
+//! — merging is associative and commutative on the counter lattice, so
+//! the merged record is independent of the order profiles arrive in, and
+//! a hostile file full of `u64::MAX` cannot overflow into a panic.
+
+use std::collections::BTreeMap;
+
+use dae_ir::FuncId;
+use dae_trace::json::JsonValue;
+
+use crate::{fnv1a, FNV_OFFSET, PROFILE_SCHEMA};
+
+/// One phase's counters from a single run, as sampled from the
+/// simulator's `PhaseTrace` by the runtime (this crate never sees the
+/// trace itself; the runtime converts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSample {
+    /// Dynamic instructions retired.
+    pub instrs: u64,
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Demand loads served from DRAM (LLC misses).
+    pub dram_misses: u64,
+    /// Software prefetches issued.
+    pub prefetches: u64,
+    /// Software prefetches that actually fetched a line from DRAM (the
+    /// rest hit a cache level — a redundant prefetch).
+    pub prefetch_dram_lines: u64,
+    /// Conditional branches executed (the trip-count signal).
+    pub branches: u64,
+    /// Memory-level parallelism ×100: DRAM misses per serialised miss
+    /// cluster, as measured by the interval timing model.
+    pub mlp_x100: u64,
+    /// Measured memory-bound fraction of the phase at fmax, in parts per
+    /// million.
+    pub mem_bound_ppm: u64,
+}
+
+/// Saturating counter sums of one phase over `runs` runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Total dynamic instructions.
+    pub instrs: u64,
+    /// Total demand loads.
+    pub loads: u64,
+    /// Total demand loads served from DRAM.
+    pub dram_misses: u64,
+    /// Total software prefetches issued.
+    pub prefetches: u64,
+    /// Total prefetches that fetched a line from DRAM.
+    pub prefetch_dram_lines: u64,
+    /// Total conditional branches.
+    pub branches: u64,
+    /// Sum over runs of the per-run MLP ×100.
+    pub mlp_x100_sum: u64,
+    /// Sum over runs of the per-run memory-bound ppm.
+    pub mem_bound_ppm_sum: u64,
+}
+
+impl PhaseAgg {
+    fn absorb(&mut self, s: &PhaseSample) {
+        self.instrs = self.instrs.saturating_add(s.instrs);
+        self.loads = self.loads.saturating_add(s.loads);
+        self.dram_misses = self.dram_misses.saturating_add(s.dram_misses);
+        self.prefetches = self.prefetches.saturating_add(s.prefetches);
+        self.prefetch_dram_lines = self.prefetch_dram_lines.saturating_add(s.prefetch_dram_lines);
+        self.branches = self.branches.saturating_add(s.branches);
+        self.mlp_x100_sum = self.mlp_x100_sum.saturating_add(s.mlp_x100);
+        self.mem_bound_ppm_sum = self.mem_bound_ppm_sum.saturating_add(s.mem_bound_ppm);
+    }
+
+    fn merge(&mut self, o: &PhaseAgg) {
+        self.instrs = self.instrs.saturating_add(o.instrs);
+        self.loads = self.loads.saturating_add(o.loads);
+        self.dram_misses = self.dram_misses.saturating_add(o.dram_misses);
+        self.prefetches = self.prefetches.saturating_add(o.prefetches);
+        self.prefetch_dram_lines = self.prefetch_dram_lines.saturating_add(o.prefetch_dram_lines);
+        self.branches = self.branches.saturating_add(o.branches);
+        self.mlp_x100_sum = self.mlp_x100_sum.saturating_add(o.mlp_x100_sum);
+        self.mem_bound_ppm_sum = self.mem_bound_ppm_sum.saturating_add(o.mem_bound_ppm_sum);
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::obj([
+            ("instrs", self.instrs.into()),
+            ("loads", self.loads.into()),
+            ("dram_misses", self.dram_misses.into()),
+            ("prefetches", self.prefetches.into()),
+            ("prefetch_dram_lines", self.prefetch_dram_lines.into()),
+            ("branches", self.branches.into()),
+            ("mlp_x100_sum", self.mlp_x100_sum.into()),
+            ("mem_bound_ppm_sum", self.mem_bound_ppm_sum.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Option<PhaseAgg> {
+        let field = |name: &str| -> Option<u64> {
+            let n = v.get(name)?.as_f64()?;
+            // Counters are non-negative by construction; a hostile file
+            // carrying NaN, a negative or an overscaled float is clamped
+            // into the representable range, never trusted into a panic.
+            if n.is_nan() {
+                return None;
+            }
+            Some(n.clamp(0.0, u64::MAX as f64) as u64)
+        };
+        Some(PhaseAgg {
+            instrs: field("instrs")?,
+            loads: field("loads")?,
+            dram_misses: field("dram_misses")?,
+            prefetches: field("prefetches")?,
+            prefetch_dram_lines: field("prefetch_dram_lines")?,
+            branches: field("branches")?,
+            mlp_x100_sum: field("mlp_x100_sum")?,
+            mem_bound_ppm_sum: field("mem_bound_ppm_sum")?,
+        })
+    }
+
+    fn hash_into(&self, mut h: u64) -> u64 {
+        for v in [
+            self.instrs,
+            self.loads,
+            self.dram_misses,
+            self.prefetches,
+            self.prefetch_dram_lines,
+            self.branches,
+            self.mlp_x100_sum,
+            self.mem_bound_ppm_sum,
+        ] {
+            h = fnv1a(h, &v.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// The profile of one task identity: access- and execute-phase counter
+/// aggregates over `runs` decoupled runs. For tasks that ran coupled the
+/// access aggregate stays zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Task executions aggregated into this record.
+    pub runs: u64,
+    /// Access-phase counter sums.
+    pub access: PhaseAgg,
+    /// Execute-phase counter sums.
+    pub execute: PhaseAgg,
+}
+
+impl PhaseProfile {
+    /// Absorbs one run's samples (saturating).
+    pub fn absorb(&mut self, access: Option<&PhaseSample>, execute: &PhaseSample) {
+        self.runs = self.runs.saturating_add(1);
+        if let Some(a) = access {
+            self.access.absorb(a);
+        }
+        self.execute.absorb(execute);
+    }
+
+    /// Merges another record into this one (saturating; commutative and
+    /// associative, so aggregation order never changes the result).
+    pub fn merge(&mut self, o: &PhaseProfile) {
+        self.runs = self.runs.saturating_add(o.runs);
+        self.access.merge(&o.access);
+        self.execute.merge(&o.execute);
+    }
+
+    /// Fraction of issued prefetches that actually fetched a line from
+    /// DRAM. Low accuracy means the access phase mostly re-touches lines
+    /// it (or the hardware) already brought in — e.g. eight consecutive
+    /// `f64` prefetches per 64-byte line score 1/8.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        ratio(self.access.prefetch_dram_lines, self.access.prefetches)
+    }
+
+    /// Fraction of the task's DRAM line traffic fetched by the access
+    /// phase ahead of execute: `pf_lines / (pf_lines + execute_misses)`.
+    /// Near zero means the access phase fetched (almost) nothing execute
+    /// would have missed on — a useless phase.
+    pub fn prefetch_coverage(&self) -> f64 {
+        let pf = self.access.prefetch_dram_lines;
+        ratio(pf, pf.saturating_add(self.execute.dram_misses))
+    }
+
+    /// Execute-phase DRAM miss ratio (misses per demand load).
+    pub fn execute_miss_ratio(&self) -> f64 {
+        ratio(self.execute.dram_misses, self.execute.loads)
+    }
+
+    /// Mean measured memory-bound fraction of the execute phase at fmax.
+    pub fn execute_mem_bound(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        (self.execute.mem_bound_ppm_sum as f64 / self.runs as f64) / 1e6
+    }
+
+    /// Mean conditional branches per run — the measured trip-count
+    /// signal used to synthesise loop-bound hints for unhinted tasks.
+    pub fn trip_estimate(&self) -> u64 {
+        self.execute.branches.checked_div(self.runs).unwrap_or(0)
+    }
+
+    /// Mean execute-phase memory-level parallelism over runs.
+    pub fn execute_mlp(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        (self.execute.mlp_x100_sum as f64 / self.runs as f64) / 100.0
+    }
+
+    /// Stable content hash of the record (FNV-1a-64 over the schema tag
+    /// and every counter). The driver folds this into the cache
+    /// `task_key` of a refined compile, so an artifact can never be
+    /// served against a profile other than the one that shaped it.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, PROFILE_SCHEMA.as_bytes());
+        h = fnv1a(h, &self.runs.to_le_bytes());
+        h = self.access.hash_into(h);
+        h = self.execute.hash_into(h);
+        h
+    }
+
+    /// The record's JSON form, without its key (the store adds it).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("runs", self.runs.into()),
+            ("access", self.access.to_json()),
+            ("execute", self.execute.to_json()),
+        ])
+    }
+
+    /// Parses [`PhaseProfile::to_json`]'s shape; `None` on any missing or
+    /// malformed field (the store skips such records).
+    pub fn from_json(v: &JsonValue) -> Option<PhaseProfile> {
+        let runs = v.get("runs")?.as_f64()?;
+        if runs.is_nan() || runs < 0.0 {
+            return None;
+        }
+        Some(PhaseProfile {
+            runs: runs.clamp(0.0, u64::MAX as f64) as u64,
+            access: PhaseAgg::from_json(v.get("access")?)?,
+            execute: PhaseAgg::from_json(v.get("execute")?)?,
+        })
+    }
+
+    /// Compact derived-signal summary for `stats`/`profiles` endpoints.
+    pub fn summary_json(&self, key: u64) -> JsonValue {
+        JsonValue::obj([
+            ("key", format!("{key:016x}").into()),
+            ("runs", self.runs.into()),
+            ("prefetch_accuracy", self.prefetch_accuracy().into()),
+            ("prefetch_coverage", self.prefetch_coverage().into()),
+            ("execute_miss_ratio", self.execute_miss_ratio().into()),
+            ("execute_mem_bound", self.execute_mem_bound().into()),
+            ("execute_mlp", self.execute_mlp().into()),
+            ("trip_estimate", self.trip_estimate().into()),
+        ])
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// An immutable, deterministic profile view keyed by the driver's base
+/// `task_key` — what the driver's `refine` pass consults during a
+/// compile. Cloning is cheap enough for per-compile snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileSet {
+    map: BTreeMap<u64, PhaseProfile>,
+}
+
+impl ProfileSet {
+    /// An empty set (refinement becomes a strict no-op).
+    pub fn new() -> ProfileSet {
+        ProfileSet::default()
+    }
+
+    /// The profile of `key`, if one was collected.
+    pub fn get(&self, key: u64) -> Option<&PhaseProfile> {
+        self.map.get(&key)
+    }
+
+    /// Inserts (merging with any existing record under `key`).
+    pub fn insert(&mut self, key: u64, p: PhaseProfile) {
+        self.map.entry(key).or_default().merge(&p);
+    }
+
+    /// True when no profile is held — the byte-identity fast path.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Records in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &PhaseProfile)> {
+        self.map.iter()
+    }
+
+    /// Content hash of the whole set (order-independent by construction:
+    /// the map iterates in key order).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, b"dae-pgo-set/1");
+        for (k, p) in &self.map {
+            h = fnv1a(h, &k.to_le_bytes());
+            h = fnv1a(h, &p.content_hash().to_le_bytes());
+        }
+        h
+    }
+}
+
+/// Accumulates per-task samples during a run, keyed by the *execute*
+/// function. The runtime owns one per profiled run; the caller remaps
+/// function ids to driver `task_key`s afterwards (the runtime does not
+/// know them).
+#[derive(Debug, Default)]
+pub struct ProfileCollector {
+    map: BTreeMap<FuncId, PhaseProfile>,
+}
+
+impl ProfileCollector {
+    /// A fresh, empty collector.
+    pub fn new() -> ProfileCollector {
+        ProfileCollector::default()
+    }
+
+    /// Records one completed task execution.
+    pub fn record(&mut self, func: FuncId, access: Option<&PhaseSample>, execute: &PhaseSample) {
+        self.map.entry(func).or_default().absorb(access, execute);
+    }
+
+    /// Collected profiles in deterministic function order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FuncId, &PhaseProfile)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct tasks profiled.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drains the collected profiles.
+    pub fn take(&mut self) -> BTreeMap<FuncId, PhaseProfile> {
+        std::mem::take(&mut self.map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(scale: u64) -> PhaseSample {
+        PhaseSample {
+            instrs: 1000 * scale,
+            loads: 100 * scale,
+            dram_misses: 10 * scale,
+            prefetches: 80 * scale,
+            prefetch_dram_lines: 10 * scale,
+            branches: 64 * scale,
+            mlp_x100: 250,
+            mem_bound_ppm: 600_000,
+        }
+    }
+
+    #[test]
+    fn merge_is_saturating_and_order_independent() {
+        let mut a = PhaseProfile::default();
+        a.absorb(Some(&sample(1)), &sample(2));
+        let mut b = PhaseProfile::default();
+        b.absorb(None, &sample(3));
+        let (mut ab, mut ba) = (a, b);
+        ab.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.runs, 2);
+        // Saturation: a hostile near-MAX record cannot overflow.
+        let mut big = PhaseProfile { runs: u64::MAX - 1, ..Default::default() };
+        big.execute.instrs = u64::MAX - 5;
+        let mut other = big;
+        big.merge(&other);
+        assert_eq!(big.runs, u64::MAX);
+        assert_eq!(big.execute.instrs, u64::MAX);
+        other.merge(&big);
+        assert_eq!(other.execute.instrs, u64::MAX);
+    }
+
+    #[test]
+    fn derived_signals_match_hand_arithmetic() {
+        let mut p = PhaseProfile::default();
+        p.absorb(Some(&sample(1)), &sample(1));
+        // accuracy = pf_dram / prefetches = 10/80
+        assert!((p.prefetch_accuracy() - 0.125).abs() < 1e-12);
+        // coverage = 10 / (10 + 10)
+        assert!((p.prefetch_coverage() - 0.5).abs() < 1e-12);
+        assert!((p.execute_miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((p.execute_mem_bound() - 0.6).abs() < 1e-12);
+        assert_eq!(p.trip_estimate(), 64);
+        assert!((p.execute_mlp() - 2.5).abs() < 1e-12);
+        // Degenerate denominators never divide by zero.
+        let z = PhaseProfile::default();
+        assert_eq!(z.prefetch_accuracy(), 0.0);
+        assert_eq!(z.prefetch_coverage(), 0.0);
+        assert_eq!(z.execute_mem_bound(), 0.0);
+        assert_eq!(z.trip_estimate(), 0);
+    }
+
+    #[test]
+    fn json_round_trips_and_rejects_malformed_fields() {
+        let mut p = PhaseProfile::default();
+        p.absorb(Some(&sample(3)), &sample(7));
+        let back = PhaseProfile::from_json(&p.to_json()).expect("round trip");
+        assert_eq!(back, p);
+        assert_eq!(back.content_hash(), p.content_hash());
+        // Missing field ⇒ None.
+        let v = dae_trace::json::parse(r#"{"runs":1,"access":{}}"#).unwrap();
+        assert!(PhaseProfile::from_json(&v).is_none());
+        // Negative / NaN-ish counters ⇒ rejected or clamped, never panic.
+        let neg = dae_trace::json::parse(r#"{"runs":-3,"access":{},"execute":{}}"#).unwrap();
+        assert!(PhaseProfile::from_json(&neg).is_none());
+    }
+
+    #[test]
+    fn content_hash_is_sensitive_to_every_phase() {
+        let mut a = PhaseProfile::default();
+        a.absorb(Some(&sample(1)), &sample(1));
+        let mut b = a;
+        b.execute.loads += 1;
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut c = a;
+        c.access.prefetches += 1;
+        assert_ne!(a.content_hash(), c.content_hash());
+        assert_eq!(a.content_hash(), a.content_hash());
+    }
+
+    #[test]
+    fn collector_groups_by_function_and_set_hash_tracks_content() {
+        let mut col = ProfileCollector::new();
+        col.record(FuncId(3), Some(&sample(1)), &sample(1));
+        col.record(FuncId(3), Some(&sample(1)), &sample(1));
+        col.record(FuncId(9), None, &sample(2));
+        assert_eq!(col.len(), 2);
+        let profiles = col.take();
+        assert_eq!(profiles[&FuncId(3)].runs, 2);
+        assert_eq!(profiles[&FuncId(9)].runs, 1);
+        assert!(col.is_empty());
+
+        let mut s1 = ProfileSet::new();
+        let mut s2 = ProfileSet::new();
+        assert_eq!(s1.content_hash(), s2.content_hash());
+        s1.insert(7, profiles[&FuncId(3)]);
+        assert_ne!(s1.content_hash(), s2.content_hash());
+        s2.insert(7, profiles[&FuncId(3)]);
+        assert_eq!(s1.content_hash(), s2.content_hash());
+    }
+}

@@ -46,4 +46,6 @@ pub use config::{FreqPolicy, RuntimeConfig};
 pub use dae_governor::GovernorKind;
 pub use dae_sim::EngineKind;
 pub use report::{Breakdown, ClassReport, CompileStats, GovernorReport, RunReport};
-pub use sched::{run_workload, run_workload_governed, run_workload_traced, TaskInstance};
+pub use sched::{
+    run_workload, run_workload_governed, run_workload_profiled, run_workload_traced, TaskInstance,
+};

@@ -14,6 +14,7 @@ use crate::report::{Breakdown, ClassReport, GovernorReport, RunReport};
 use dae_governor::{Governor, PhaseObs, TaskClass, TaskObs};
 use dae_ir::{FuncId, Module};
 use dae_mem::{CoreCaches, SharedLlc};
+use dae_pgo::{PhaseSample, ProfileCollector};
 use dae_power::{phase_energy_split_j, select_optimal_edp, DvfsTable, FreqId, FreqPoint};
 use dae_sim::{CachePort, InterpError, Machine, PhaseTrace, Val};
 use dae_trace::{NullSink, PhaseKind, TraceEvent, TraceSink};
@@ -101,9 +102,36 @@ pub fn run_workload_traced(
     match cfg.policy {
         FreqPolicy::Governed(kind) => {
             let mut gov = kind.build(&cfg.table);
-            run_scheduler(module, tasks, cfg, Some(gov.as_mut()), sink)
+            run_scheduler(module, tasks, cfg, Some(gov.as_mut()), sink, None)
         }
-        _ => run_scheduler(module, tasks, cfg, None, sink),
+        _ => run_scheduler(module, tasks, cfg, None, sink, None),
+    }
+}
+
+/// Runs `tasks` to completion while collecting per-task phase profiles
+/// into `collector` — the PGO collection hook.
+///
+/// Each completed task contributes one access sample (when it ran
+/// decoupled) and one execute sample, converted from the same
+/// [`PhaseTrace`] counters the report aggregates. Collection is strictly
+/// observational: the returned [`RunReport`] is bit-identical to
+/// [`run_workload`] on the same inputs.
+///
+/// # Errors
+///
+/// Propagates interpreter traps ([`InterpError`]).
+pub fn run_workload_profiled(
+    module: &Module,
+    tasks: &[TaskInstance],
+    cfg: &RuntimeConfig,
+    collector: &mut ProfileCollector,
+) -> Result<RunReport, InterpError> {
+    match cfg.policy {
+        FreqPolicy::Governed(kind) => {
+            let mut gov = kind.build(&cfg.table);
+            run_scheduler(module, tasks, cfg, Some(gov.as_mut()), &mut NullSink, Some(collector))
+        }
+        _ => run_scheduler(module, tasks, cfg, None, &mut NullSink, Some(collector)),
     }
 }
 
@@ -127,7 +155,7 @@ pub fn run_workload_governed(
     gov: &mut dyn Governor,
     sink: &mut dyn TraceSink,
 ) -> Result<RunReport, InterpError> {
-    run_scheduler(module, tasks, cfg, Some(gov), sink)
+    run_scheduler(module, tasks, cfg, Some(gov), sink, None)
 }
 
 /// End-of-run snapshot of the governor, with class labels resolved
@@ -158,6 +186,7 @@ fn run_scheduler(
     cfg: &RuntimeConfig,
     mut gov: Option<&mut dyn Governor>,
     sink: &mut dyn TraceSink,
+    mut collector: Option<&mut ProfileCollector>,
 ) -> Result<RunReport, InterpError> {
     let mut machine = Machine::new(module);
     machine.config.max_steps = cfg.max_steps;
@@ -227,6 +256,7 @@ fn run_scheduler(
                 gov.as_deref_mut(),
                 sink,
                 c as u32,
+                collector.as_deref_mut(),
             )?;
         }
         // Barrier: every core waits for the epoch's slowest (counts as idle
@@ -284,6 +314,7 @@ fn run_task<'g>(
     mut gov: Option<&mut (dyn Governor + 'g)>,
     sink: &mut dyn TraceSink,
     core_id: u32,
+    collector: Option<&mut ProfileCollector>,
 ) -> Result<(), InterpError> {
     // Runtime overhead for dequeuing/scheduling this task.
     let oh = cfg.task_overhead_s;
@@ -328,6 +359,7 @@ fn run_task<'g>(
     let decoupled = (decision.is_some() || cfg.policy.is_decoupled()) && task.access.is_some();
 
     let mut a_obs = None;
+    let mut a_sample: Option<PhaseSample> = None;
     if decoupled {
         let access = task.access.expect("checked");
         let mut a_trace = PhaseTrace::default();
@@ -369,6 +401,9 @@ fn run_task<'g>(
         );
         if decision.is_some() {
             a_obs = Some(phase_obs(cfg, &a_trace, a_freq, a_time, a_ipc, a_switched));
+        }
+        if collector.is_some() {
+            a_sample = Some(phase_sample(cfg, &a_trace));
         }
         access_trace.merge(&a_trace);
     }
@@ -418,8 +453,40 @@ fn run_task<'g>(
         };
         g.observe(*class, &obs);
     }
+    if let Some(col) = collector {
+        // Keyed by the *execute* function: that is the task identity the
+        // driver's base `task_key` names. Collection never perturbs the
+        // charged times or energies — it only reads the traces.
+        col.record(task.func, a_sample.as_ref(), &phase_sample(cfg, &e_trace));
+    }
     execute_trace.merge(&e_trace);
     Ok(())
+}
+
+/// Condenses one phase's simulator counters into a [`PhaseSample`].
+///
+/// DRAM-level hits index 3 of the hit arrays; memory-level parallelism is
+/// the interval model's proxy (DRAM misses per serialised miss cluster,
+/// a cluster being one memory latency of demand stall); boundedness is
+/// measured at fmax so stored profiles do not drift with whatever
+/// frequency the run happened to pick.
+fn phase_sample(cfg: &RuntimeConfig, trace: &PhaseTrace) -> PhaseSample {
+    let dram = trace.demand_hits[3];
+    let clusters =
+        (trace.demand_stall_ns(&cfg.timing) / cfg.timing.mem_latency_ns).round().max(0.0);
+    let mlp = if clusters > 0.0 { dram as f64 / clusters } else { 0.0 };
+    let fmax = cfg.table.point(cfg.table.max()).hz();
+    let mem_bound = trace.memory_bound_fraction(fmax, &cfg.timing);
+    PhaseSample {
+        instrs: trace.instrs,
+        loads: trace.loads,
+        dram_misses: dram,
+        prefetches: trace.prefetches,
+        prefetch_dram_lines: trace.prefetch_hits[3],
+        branches: trace.branches,
+        mlp_x100: (mlp * 100.0).round() as u64,
+        mem_bound_ppm: (mem_bound * 1e6).round().clamp(0.0, 1e6) as u64,
+    }
 }
 
 /// Forwards the machine's pending bytecode-lowering spans to the sink:
@@ -785,6 +852,40 @@ mod tests {
         assert_eq!(plain.energy_j.to_bits(), traced.energy_j.to_bits());
         assert_eq!(plain.breakdown, traced.breakdown);
         assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn profiling_collects_samples_without_changing_results() {
+        let (m, exec, access) = stream_module(8192, 512);
+        let tasks = tasks_for(exec, access, 8192, 512);
+        let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::DaeOptimal);
+        let plain = run_workload(&m, &tasks, &cfg).unwrap();
+        let mut col = ProfileCollector::new();
+        let profiled = run_workload_profiled(&m, &tasks, &cfg, &mut col).unwrap();
+        // Strictly observational: bit-identical report.
+        assert_eq!(plain.time_s.to_bits(), profiled.time_s.to_bits());
+        assert_eq!(plain.energy_j.to_bits(), profiled.energy_j.to_bits());
+        assert_eq!(plain.breakdown, profiled.breakdown);
+        // One record per distinct task function, with both phases seen.
+        assert_eq!(col.len(), 1);
+        let (&func, p) = col.iter().next().unwrap();
+        assert_eq!(func, exec);
+        assert_eq!(p.runs as usize, tasks.len());
+        assert!(p.access.prefetches > 0, "access phase issued prefetches");
+        assert!(p.execute.instrs > 0);
+        // The aggregate matches the run's own trace totals.
+        assert_eq!(p.execute.instrs, profiled.execute_trace.instrs);
+        assert_eq!(p.access.prefetches, profiled.access_trace.prefetches);
+
+        // Coupled runs contribute no access sample.
+        let coupled: Vec<TaskInstance> =
+            tasks.iter().map(|t| TaskInstance::coupled(t.func, t.args.clone())).collect();
+        let mut col = ProfileCollector::new();
+        let cfg = RuntimeConfig::paper_default().with_policy(FreqPolicy::CoupledMax);
+        run_workload_profiled(&m, &coupled, &cfg, &mut col).unwrap();
+        let (_, p) = col.iter().next().unwrap();
+        assert_eq!(p.access.instrs, 0);
+        assert!(p.execute.instrs > 0);
     }
 
     #[test]

@@ -26,16 +26,25 @@
 //! checks against a fresh single-use engine.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dae_core::{CompilerOptions, Strategy};
 use dae_driver::{Driver, DriverConfig, Fnv64};
 use dae_ir::{parse::parse_module, print_module, verify_module, FuncId, Function, Module};
-use dae_runtime::{run_workload, FreqPolicy, RuntimeConfig, TaskInstance};
+use dae_pgo::{ProfileCollector, ProfileStore};
+use dae_runtime::{run_workload, run_workload_profiled, FreqPolicy, RuntimeConfig, TaskInstance};
 use dae_sim::{EngineKind, Val};
 use dae_trace::json::JsonValue;
 
 use crate::proto::{codes, ErrorBody, Op, Request};
+
+/// Schema tag of the `profiles` result object.
+pub const PROFILES_SCHEMA: &str = "dae-serve-profiles/1";
+
+/// Modules remembered for background recompilation (most recent first;
+/// deduplicated by content).
+const RECENT_MODULES_CAP: usize = 32;
 
 /// Engine construction knobs.
 #[derive(Clone, Debug)]
@@ -80,9 +89,33 @@ impl Default for EngineConfig {
 pub struct Engine {
     driver: Mutex<Driver>,
     resp: Mutex<ResponseCache>,
+    pgo: Mutex<PgoState>,
+    recompiles_started: AtomicU64,
+    recompiles_completed: AtomicU64,
+    recompiles_swapped: AtomicU64,
     max_global_bytes: u64,
     max_steps: u64,
     engine: EngineKind,
+}
+
+/// Profile state accumulated from `run` requests: the in-memory store
+/// (keyed by base compile key) plus the modules worth recompiling when
+/// the profile picture changes.
+struct PgoState {
+    store: ProfileStore,
+    recent: VecDeque<RecentModule>,
+    /// Content hash of the store the last recompile pass saw; an
+    /// unchanged hash makes the next pass a no-op.
+    last_hash: u64,
+}
+
+/// One remembered module: everything a background recompile needs.
+#[derive(Clone)]
+struct RecentModule {
+    /// Fnv64 over `ir` + `hints` — the dedup key.
+    key: u64,
+    ir: String,
+    hints: Vec<i64>,
 }
 
 impl Engine {
@@ -92,6 +125,14 @@ impl Engine {
         Engine {
             driver: Mutex::new(Driver::new(&driver_cfg)),
             resp: Mutex::new(ResponseCache::new(config.resp_max_bytes)),
+            pgo: Mutex::new(PgoState {
+                store: ProfileStore::new(),
+                recent: VecDeque::new(),
+                last_hash: 0,
+            }),
+            recompiles_started: AtomicU64::new(0),
+            recompiles_completed: AtomicU64::new(0),
+            recompiles_swapped: AtomicU64::new(0),
             max_global_bytes: config.max_global_bytes,
             max_steps: config.max_steps,
             engine: config.engine,
@@ -192,7 +233,7 @@ impl Engine {
             Op::Report => Ok(map_json.report_result(&module)),
             Op::Run => self.run(req, &module, &map_json),
             // Control ops never reach the engine.
-            Op::Stats | Op::Health | Op::Shutdown => {
+            Op::Stats | Op::Profiles | Op::Health | Op::Shutdown => {
                 Err(ErrorBody::new(codes::BAD_REQUEST, "control op routed to a worker"))
             }
         }
@@ -286,12 +327,146 @@ impl Engine {
             })
             .collect();
         let cfg = base.clone().with_policy(policy);
-        let report = run_workload(module, &insts, &cfg).map_err(|e| ErrorBody::from_coded(&e))?;
+        // The whole-module run doubles as profile collection: the phase
+        // counters ride along without changing the report (the collector
+        // only observes), so the response bytes stay exactly what
+        // `run_workload` would produce.
+        let mut col = ProfileCollector::new();
+        let report = run_workload_profiled(module, &insts, &cfg, &mut col)
+            .map_err(|e| ErrorBody::from_coded(&e))?;
+        self.absorb_profiles(req, c, col);
         Ok(JsonValue::obj([
             ("policy", cfg.policy.label(&cfg.table).into()),
             ("tasks", JsonValue::Arr(per_task)),
             ("report", report.to_json()),
         ]))
+    }
+
+    /// Folds one run's collected profiles into the store (keyed by the
+    /// task's *base* compile key) and remembers the module for the
+    /// background recompile worker.
+    fn absorb_profiles(&self, req: &Request, c: &Compiled, mut col: ProfileCollector) {
+        if col.is_empty() {
+            return;
+        }
+        let mut mkey = Fnv64::new();
+        mkey.write_str(&req.ir);
+        mkey.write_u64(req.hints.len() as u64);
+        for &v in &req.hints {
+            mkey.write_i64(v);
+        }
+        let mkey = mkey.finish();
+        let mut st = lock_pgo(&self.pgo);
+        for (func, p) in col.take() {
+            if let Some(&key) = c.outcome.keys.get(&func) {
+                st.store.merge_record(key, &p);
+            }
+        }
+        st.recent.retain(|m| m.key != mkey);
+        st.recent.push_front(RecentModule {
+            key: mkey,
+            ir: req.ir.clone(),
+            hints: req.hints.clone(),
+        });
+        st.recent.truncate(RECENT_MODULES_CAP);
+    }
+
+    /// One background recompile pass: if the profile picture changed since
+    /// the last pass, recompile every remembered module with the profiles
+    /// applied. Refined artifacts land in the shared incremental cache
+    /// under their *refined* keys — publication is one `Cache::insert`, so
+    /// the serving path (which probes base keys) never observes a torn
+    /// swap and responses stay byte-identical throughout.
+    ///
+    /// Returns the number of tasks that compiled against a profile.
+    pub fn recompile_pass(&self) -> usize {
+        let (snapshot, jobs) = {
+            let mut st = lock_pgo(&self.pgo);
+            let snap = st.store.snapshot();
+            if snap.is_empty() {
+                return 0;
+            }
+            let hash = snap.content_hash();
+            if hash == st.last_hash {
+                return 0;
+            }
+            st.last_hash = hash;
+            (snap, st.recent.iter().cloned().collect::<Vec<_>>())
+        };
+        let mut refined_tasks = 0usize;
+        for m in jobs {
+            self.recompiles_started.fetch_add(1, Ordering::Relaxed);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut module = parse_module(&m.ir).ok()?;
+                verify_module(&module).ok()?;
+                let hints = m.hints.clone();
+                let mut driver = self.lock_driver();
+                let prev = driver.set_profiles(snapshot.clone());
+                let outcome = driver.compile(&mut module, |_, f: &Function| CompilerOptions {
+                    param_hints: if hints.len() == f.params.len() {
+                        hints.clone()
+                    } else {
+                        vec![0; f.params.len()]
+                    },
+                    ..CompilerOptions::default()
+                });
+                driver.set_profiles(prev);
+                Some(outcome.refined)
+            }));
+            if let Ok(Some(refined)) = result {
+                self.recompiles_completed.fetch_add(1, Ordering::Relaxed);
+                self.recompiles_swapped.fetch_add(refined as u64, Ordering::Relaxed);
+                refined_tasks += refined;
+            }
+        }
+        refined_tasks
+    }
+
+    /// Compact profile/recompile counters for `health` and `stats` — no
+    /// driver lock, so probes never stall behind a compile.
+    pub fn pgo_json(&self) -> JsonValue {
+        let (records, recent) = {
+            let st = lock_pgo(&self.pgo);
+            (st.store.len(), st.recent.len())
+        };
+        JsonValue::obj([
+            ("profile_records", records.into()),
+            ("recent_modules", recent.into()),
+            ("recompiles_started", self.recompiles_started.load(Ordering::Relaxed).into()),
+            ("recompiles_completed", self.recompiles_completed.load(Ordering::Relaxed).into()),
+            ("recompiles_swapped", self.recompiles_swapped.load(Ordering::Relaxed).into()),
+        ])
+    }
+
+    /// The `profiles` result object: every resident profile record
+    /// (derived metrics included) plus store and recompile counters.
+    pub fn profiles_json(&self) -> JsonValue {
+        let st = lock_pgo(&self.pgo);
+        let records: Vec<JsonValue> =
+            st.store.snapshot().iter().map(|(&k, p)| p.summary_json(k)).collect();
+        let s = st.store.stats();
+        JsonValue::obj([
+            ("schema", PROFILES_SCHEMA.into()),
+            ("records", JsonValue::Arr(records)),
+            (
+                "store",
+                JsonValue::obj([
+                    ("resident", s.resident.into()),
+                    ("merged", s.merged.into()),
+                    ("skipped_records", s.skipped_records.into()),
+                    ("evicted", s.evicted.into()),
+                ]),
+            ),
+            ("recent_modules", st.recent.len().into()),
+            (
+                "recompiles",
+                JsonValue::obj([
+                    ("started", self.recompiles_started.load(Ordering::Relaxed).into()),
+                    ("completed", self.recompiles_completed.load(Ordering::Relaxed).into()),
+                    ("swapped", self.recompiles_swapped.load(Ordering::Relaxed).into()),
+                ]),
+            ),
+        ])
     }
 
     fn lock_driver(&self) -> std::sync::MutexGuard<'_, Driver> {
@@ -386,6 +561,10 @@ impl ResponseCache {
 }
 
 fn lock(m: &Mutex<ResponseCache>) -> std::sync::MutexGuard<'_, ResponseCache> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_pgo(m: &Mutex<PgoState>) -> std::sync::MutexGuard<'_, PgoState> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -587,6 +766,42 @@ bb3:
         ]);
         let e = engine.handle(&req(&frame.to_json_string())).unwrap_err();
         assert_eq!(e.code, codes::BAD_REQUEST, "bad policy");
+    }
+
+    #[test]
+    fn run_requests_feed_profiles_and_recompiles_stay_invisible() {
+        let engine = Engine::new(&EngineConfig::default());
+        // No runs yet: empty store, recompile pass is a no-op.
+        assert_eq!(engine.recompile_pass(), 0);
+        let p = engine.profiles_json();
+        assert_eq!(p.get("schema").unwrap().as_str(), Some(PROFILES_SCHEMA));
+        assert!(p.get("records").unwrap().as_arr().unwrap().is_empty());
+        // A run request collects one profile record per task.
+        let before = engine.handle(&run_req("run")).unwrap().to_json_string();
+        let p = engine.profiles_json();
+        assert_eq!(p.get("records").unwrap().as_arr().unwrap().len(), 1);
+        let rec = &p.get("records").unwrap().as_arr().unwrap()[0];
+        assert!(rec.get("runs").unwrap().as_f64().unwrap() >= 1.0);
+        // The recompile pass sees the changed profile picture once.
+        let refined = engine.recompile_pass();
+        assert!(refined >= 1, "the profiled module should recompile refined");
+        assert_eq!(engine.recompile_pass(), 0, "unchanged profiles are a no-op");
+        let pg = engine.pgo_json();
+        assert_eq!(pg.get("recompiles_started").unwrap().as_f64(), Some(1.0));
+        assert_eq!(pg.get("recompiles_completed").unwrap().as_f64(), Some(1.0));
+        assert!(pg.get("recompiles_swapped").unwrap().as_f64().unwrap() >= 1.0);
+        // Hot swap is client-invisible: the same requests answer with the
+        // same bytes as before the swap and as a fresh engine.
+        let after = engine.handle(&run_req("run")).unwrap().to_json_string();
+        assert_eq!(before, after, "swap must not change run responses");
+        let fresh = Engine::new(&EngineConfig::default());
+        for op in ["compile", "report", "run"] {
+            assert_eq!(
+                engine.handle(&run_req(op)).unwrap().to_json_string(),
+                fresh.handle(&run_req(op)).unwrap().to_json_string(),
+                "op {op} after swap == fresh engine"
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! # dae-serve — the concurrent compile-and-simulate service
 //!
 //! A std-only TCP daemon that accepts untrusted DAE IR text over
-//! newline-delimited JSON and serves five request types: `compile`,
-//! `report`, `run` (the work ops), plus `stats` and `health` (control
-//! ops), with `shutdown` starting a graceful drain. Two binaries ship on
+//! newline-delimited JSON and serves six request types: `compile`,
+//! `report`, `run` (the work ops), plus `stats`, `profiles` and `health`
+//! (control ops), with `shutdown` starting a graceful drain. Two binaries ship on
 //! top: `daed` (the daemon) and `dae-load` (a deterministic seeded load
 //! generator producing `BENCH_serve_*.json`).
 //!
@@ -30,7 +30,7 @@
 //!
 //! ```text
 //! $ printf '{"id":1,"op":"health"}\n' | nc 127.0.0.1 7777
-//! {"id":1,"ok":true,"result":{"schema":"dae-serve-health/1","status":"ok"}}
+//! {"id":1,"ok":true,"result":{"schema":"dae-serve-health/3","status":"ok",...}}
 //! ```
 //!
 //! Work requests carry the IR inline and answer with either a `result`
@@ -50,7 +50,7 @@ pub mod server;
 
 pub use dae_driver::Fnv64;
 pub use dae_sim::EngineKind;
-pub use engine::{request_key, Engine, EngineConfig};
+pub use engine::{request_key, Engine, EngineConfig, PROFILES_SCHEMA};
 pub use load::{bench_workers, run_load, LoadConfig, LoadReport, Mix};
 pub use metrics::{Metrics, STATS_SCHEMA};
 pub use proto::{

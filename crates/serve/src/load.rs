@@ -231,7 +231,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
 /// One client: a private rng stream, serial request/response over one
 /// connection.
 fn client_loop(cfg: &LoadConfig, client: u64, share: usize) -> std::io::Result<LoadReport> {
-    let mut rng = SplitMix64::new(cfg.seed.wrapping_add(client.wrapping_mul(0x9e37)));
+    let mut rng = client_rng(cfg.seed, client);
     let stream = TcpStream::connect(&cfg.addr)?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
@@ -303,10 +303,23 @@ fn request_parts(mix: Mix, rng: &mut SplitMix64) -> (usize, &'static str, u64) {
     (variant, op, hint)
 }
 
+/// The per-client request rng: **the** stream split every harness must
+/// share. SplitMix64 advances its state by a fixed odd constant per draw,
+/// so seeding client `c` at `seed + c * 0x9e37` starts each client on its
+/// own arithmetic progression of states — distinct clients never collide,
+/// and any harness (the concurrent generator, the serial baseline, the
+/// gateway bench driving `--target gate`) that splits with this exact
+/// function replays byte-identical per-client request sequences for a
+/// given seed. Inlining the formula instead of calling this is how the
+/// streams drift apart.
+pub fn client_rng(seed: u64, client: u64) -> SplitMix64 {
+    SplitMix64::new(seed.wrapping_add(client.wrapping_mul(0x9e37)))
+}
+
 /// The `id`s encode client and sequence so responses are traceable in a
 /// packet capture; the rng picks the program and the op. Public so other
 /// harnesses (the gateway bench) can replay the identical stream: client
-/// `c`'s rng is `SplitMix64::new(seed + c * 0x9e37)` and its ids are
+/// `c`'s rng is [`client_rng`]`(seed, c)` and its ids are
 /// `c * 1_000_000 + k`.
 pub fn request_frame(mix: Mix, rng: &mut SplitMix64, id: u64) -> JsonValue {
     let (variant, op, hint) = request_parts(mix, rng);
@@ -335,7 +348,7 @@ pub fn serial_cold_baseline(
     // Replay the identical per-client streams, just serially.
     for c in 0..clients {
         let share = requests / clients + if c < requests % clients { 1 } else { 0 };
-        let mut rng = SplitMix64::new(seed.wrapping_add((c as u64).wrapping_mul(0x9e37)));
+        let mut rng = client_rng(seed, c as u64);
         for k in 0..share {
             let frame = request_frame(mix, &mut rng, (c * 1_000_000 + k) as u64);
             let req = parse_request(&frame.to_json_string()).expect("generated frame is valid");

@@ -13,8 +13,9 @@ use std::time::{Duration, Instant};
 use dae_trace::json::JsonValue;
 use dae_trace::LogHistogram;
 
-/// Schema tag of the `stats` result object. `/2` added the engine kind.
-pub const STATS_SCHEMA: &str = "dae-serve-stats/2";
+/// Schema tag of the `stats` result object. `/2` added the engine kind;
+/// `/3` added the `pgo` section (profile records, recompile counters).
+pub const STATS_SCHEMA: &str = "dae-serve-stats/3";
 
 /// Work-operation index into the per-op histogram array.
 #[derive(Clone, Copy)]
@@ -84,14 +85,15 @@ impl Metrics {
     }
 
     /// The `stats` result object. `queue_depth`, the engine label and the
-    /// cache section are sampled by the caller (they live outside this
-    /// struct).
+    /// cache and pgo sections are sampled by the caller (they live outside
+    /// this struct).
     pub fn to_json(
         &self,
         queue_depth: usize,
         workers: usize,
         engine: &str,
         cache: JsonValue,
+        pgo: JsonValue,
     ) -> JsonValue {
         let c = |a: &AtomicU64| JsonValue::from(a.load(Ordering::Relaxed));
         let latency: Vec<(String, JsonValue)> = WORK_OPS
@@ -121,6 +123,7 @@ impl Metrics {
             ),
             ("latency", JsonValue::Obj(latency)),
             ("cache", cache),
+            ("pgo", pgo),
         ])
     }
 }
@@ -146,7 +149,13 @@ mod tests {
         m.completed.store(4, Ordering::Relaxed);
         m.shed.store(1, Ordering::Relaxed);
         m.record(WorkOp::Run, Duration::from_micros(20), Duration::from_millis(3));
-        let v = m.to_json(2, 8, "bytecode", JsonValue::obj([("mem_hits", 7u64.into())]));
+        let v = m.to_json(
+            2,
+            8,
+            "bytecode",
+            JsonValue::obj([("mem_hits", 7u64.into())]),
+            JsonValue::obj([("profile_records", 2u64.into())]),
+        );
         assert_eq!(v.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
         assert_eq!(v.get("queue_depth").unwrap().as_f64(), Some(2.0));
         assert_eq!(v.get("workers").unwrap().as_f64(), Some(8.0));
@@ -159,6 +168,7 @@ mod tests {
         assert_eq!(lat.get("compile").unwrap().get("count").unwrap().as_f64(), Some(0.0));
         assert_eq!(lat.get("queue_wait").unwrap().get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("cache").unwrap().get("mem_hits").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("pgo").unwrap().get("profile_records").unwrap().as_f64(), Some(2.0));
         // The whole snapshot round-trips through the JSON writer/parser.
         assert!(dae_trace::json::parse(&v.to_json_string()).is_ok());
     }
@@ -169,7 +179,7 @@ mod tests {
         m.record(WorkOp::Compile, Duration::ZERO, Duration::from_millis(1));
         m.record(WorkOp::Compile, Duration::ZERO, Duration::from_millis(2));
         m.record(WorkOp::Report, Duration::ZERO, Duration::from_millis(1));
-        let v = m.to_json(0, 1, "tree", JsonValue::Null);
+        let v = m.to_json(0, 1, "tree", JsonValue::Null, JsonValue::Null);
         let lat = v.get("latency").unwrap();
         assert_eq!(lat.get("compile").unwrap().get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(lat.get("report").unwrap().get("count").unwrap().as_f64(), Some(1.0));

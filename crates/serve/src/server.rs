@@ -40,8 +40,9 @@ use crate::queue::{Push, Queue};
 
 /// Schema tag of the `health` result object. `/2` added the routing
 /// inputs a gateway needs from one cheap probe: engine kind, queue
-/// depth/capacity, worker count and response-cache counters.
-pub const HEALTH_SCHEMA: &str = "dae-serve-health/2";
+/// depth/capacity, worker count and response-cache counters. `/3` added
+/// the `pgo` section (profile records held, recompile-worker counters).
+pub const HEALTH_SCHEMA: &str = "dae-serve-health/3";
 
 /// Daemon construction knobs.
 #[derive(Clone, Debug)]
@@ -125,6 +126,12 @@ impl Server {
     /// shutdown, exactly as a `shutdown` request would.
     pub fn drain_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.drain)
+    }
+
+    /// The shared engine, for background workers (`daed`'s recompile
+    /// loop calls [`Engine::recompile_pass`] through this).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
     }
 
     /// Serves until a drain is requested, then completes all admitted work
@@ -281,9 +288,17 @@ fn handle_frame(
     };
     match req.op {
         Op::Stats => {
-            let body =
-                metrics.to_json(queue.len(), workers, engine.kind().label(), engine.cache_json());
+            let body = metrics.to_json(
+                queue.len(),
+                workers,
+                engine.kind().label(),
+                engine.cache_json(),
+                engine.pgo_json(),
+            );
             conn.send(&ok_response(&req.id, body));
+        }
+        Op::Profiles => {
+            conn.send(&ok_response(&req.id, engine.profiles_json()));
         }
         Op::Health => {
             // A SIGTERM counts as draining *immediately* — before the
@@ -300,6 +315,7 @@ fn handle_frame(
                 ("queue_depth", queue.len().into()),
                 ("queue_capacity", queue.capacity().into()),
                 ("cache", engine.resp_cache_json()),
+                ("pgo", engine.pgo_json()),
             ]);
             conn.send(&ok_response(&req.id, body));
         }

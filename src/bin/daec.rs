@@ -8,6 +8,7 @@
 //!      [--jobs N] [--cache-dir <dir>] [--cache-max-mb <mb>]
 //!      [--engine tree|bytecode] [--no-polyhedral] [--no-cfg-simplify]
 //!      [--line-dedup] [--prefetch-writes]
+//!      [--profile-in <file>] [--profile-out <file>] [--profile-dir <dir>]
 //!      [--trace-out <file> [--trace-format chrome|summary]]
 //! ```
 //!
@@ -29,6 +30,13 @@
 //! * `--engine` — simulator execution engine for `--run`/`--trace-out`
 //!   (`bytecode` by default; `tree` is the reference interpreter — results
 //!   are identical, bytecode is several times faster)
+//! * `--profile-in` — load a phase-profile document and compile through
+//!   the profile-guided `refine` pass; with `--policy governed:bandit`
+//!   the profiles also warm-start the bandit's per-class priors
+//! * `--profile-out` — run every task once after compiling and write the
+//!   collected phase profiles to `<file>` (merging with `--profile-in`)
+//! * `--profile-dir` — persistent per-record profile store: loads every
+//!   record before compiling and writes collected records through
 //! * `--trace-out` — run every task once (decoupled where possible, under
 //!   the selected `--policy`) with event tracing on and write the trace to
 //!   `<file>`
@@ -40,12 +48,15 @@
 
 use dae_repro::compiler::{CompilerOptions, Strategy};
 use dae_repro::driver::{emit_spans, CompileOutcome, Driver, DriverConfig};
-use dae_repro::ir::{parse::parse_module, print_module, verify_module, Function};
+use dae_repro::governor::{BanditConfig, BanditEdp, GovernorKind, TaskClass};
+use dae_repro::ir::{parse::parse_module, print_module, verify_module, CodedError, Function};
+use dae_repro::pgo::{store::DEFAULT_MAX_RECORDS, ProfileCollector, ProfileStore};
 use dae_repro::runtime::{
-    run_workload, run_workload_traced, CompileStats, FreqPolicy, RuntimeConfig, TaskInstance,
+    run_workload, run_workload_governed, run_workload_profiled, run_workload_traced, CompileStats,
+    FreqPolicy, RuntimeConfig, TaskInstance,
 };
 use dae_repro::sim::{EngineKind, Val};
-use dae_repro::trace::{chrome, json::JsonValue, summary, Recorder};
+use dae_repro::trace::{chrome, json::JsonValue, summary, NullSink, Recorder};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -68,6 +79,9 @@ struct Args {
     cache_dir: Option<PathBuf>,
     cache_max_mb: usize,
     engine: EngineKind,
+    profile_in: Option<String>,
+    profile_out: Option<String>,
+    profile_dir: Option<PathBuf>,
 }
 
 /// `Ok(None)` means the invocation was fully handled (e.g. `--policy help`).
@@ -84,6 +98,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut cache_dir = None;
     let mut cache_max_mb = 64usize;
     let mut engine = EngineKind::default();
+    let mut profile_in = None;
+    let mut profile_out = None;
+    let mut profile_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -136,6 +153,15 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--engine" => {
                 engine = EngineKind::parse(&it.next().ok_or("--engine needs a value")?)?;
             }
+            "--profile-in" => {
+                profile_in = Some(it.next().ok_or("--profile-in needs a path")?);
+            }
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?);
+            }
+            "--profile-dir" => {
+                profile_dir = Some(PathBuf::from(it.next().ok_or("--profile-dir needs a path")?));
+            }
             "--no-polyhedral" => opts.enable_polyhedral = false,
             "--no-cfg-simplify" => opts.cfg_simplify = false,
             "--line-dedup" => opts.line_dedup = true,
@@ -159,6 +185,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         cache_dir,
         cache_max_mb,
         engine,
+        profile_in,
+        profile_out,
+        profile_dir,
     }))
 }
 
@@ -216,11 +245,35 @@ fn run_main() -> Result<(), String> {
 
     let hints = args.hints.clone();
     let opts = args.opts.clone();
+
+    // Profile store: `--profile-dir` opens the persistent per-record
+    // store; `--profile-in`/`--profile-out` alone work on an in-memory
+    // store loaded from / saved to a single document. A hostile profile
+    // file fails with its dotted `pgo.*` code — it never panics.
+    let mut store = match &args.profile_dir {
+        Some(dir) => Some(
+            ProfileStore::open_dir(dir, DEFAULT_MAX_RECORDS)
+                .map_err(|e| format!("{}: {e}", e.code()))?,
+        ),
+        None if args.profile_in.is_some() || args.profile_out.is_some() => {
+            Some(ProfileStore::new())
+        }
+        None => None,
+    };
+    if let (Some(store), Some(path)) = (store.as_mut(), &args.profile_in) {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read {path}: {e}", dae_repro::pgo::codes::IO))?;
+        store.merge_document(&text).map_err(|e| format!("{}: {e}", e.code()))?;
+    }
+
     let mut driver = Driver::new(&DriverConfig {
         jobs: args.jobs,
         cache_dir: args.cache_dir.clone(),
         mem_max_bytes: args.cache_max_mb << 20,
     });
+    if let Some(store) = &store {
+        driver.set_profiles(store.snapshot());
+    }
     let outcome = driver.compile(&mut module, |_, f| CompilerOptions {
         param_hints: if hints.len() == f.params.len() {
             hints.clone()
@@ -277,11 +330,75 @@ fn run_main() -> Result<(), String> {
         print!("{}", print_module(&module));
     }
 
+    // Profile collection: one run of every task (decoupled where an
+    // access phase was generated) with the phase counters on, merged
+    // into the store under the task's *base* compile key so the next
+    // compile finds them regardless of refinement.
+    let collecting = args.profile_out.is_some() || args.profile_dir.is_some();
+    if let Some(st) = store.as_mut().filter(|_| collecting) {
+        let insts: Vec<TaskInstance> = tasks
+            .iter()
+            .map(|t| {
+                let argv = argv_for(module.func(*t), &args.hints);
+                match map.access(*t) {
+                    Some(a) => TaskInstance::decoupled(*t, a, argv),
+                    None => TaskInstance::coupled(*t, argv),
+                }
+            })
+            .collect();
+        let cfg = RuntimeConfig::paper_default().with_policy(args.policy).with_engine(args.engine);
+        let mut col = ProfileCollector::new();
+        run_workload_profiled(&module, &insts, &cfg, &mut col).map_err(|e| e.to_string())?;
+        for (func, p) in col.take() {
+            if let Some(&key) = outcome.keys.get(&func) {
+                st.merge_record(key, &p);
+            }
+        }
+        if let Some(path) = &args.profile_out {
+            st.save_file(path).map_err(|e| format!("{}: {e}", e.code()))?;
+        }
+        let s = st.stats();
+        println!(
+            "profile: {} records resident ({} merged, {} skipped, {} written)",
+            s.resident, s.merged, s.skipped_records, s.written
+        );
+    }
+
     if args.run {
         println!();
         let hints = &args.hints;
         let base = RuntimeConfig::paper_default().with_engine(args.engine);
         let plabel = args.policy.label(&base.table);
+        // Warm-started bandit: measured phase boundedness from the
+        // profile store seeds the per-class priors, so the governor
+        // starts greedy near the measured optimum instead of sweeping.
+        let mut seeded: Option<BanditEdp> = match (&args.policy, store.as_mut()) {
+            (FreqPolicy::Governed(GovernorKind::Bandit { seed }), Some(st)) if !st.is_empty() => {
+                let mut gov = BanditEdp::new(
+                    base.table.clone(),
+                    BanditConfig { seed: *seed, ..Default::default() },
+                );
+                let mut any = false;
+                for task in &tasks {
+                    let f = module.func(*task);
+                    let p = match outcome.keys.get(task).and_then(|k| st.get(*k)) {
+                        Some(p) if p.runs > 0 => p,
+                        _ => continue,
+                    };
+                    let access_mb = (p.access.instrs > 0).then(|| {
+                        (p.access.mem_bound_ppm_sum as f64 / p.runs as f64 / 1e6).clamp(0.0, 1.0)
+                    });
+                    gov.seed_prior(
+                        TaskClass::of(*task, &argv_for(f, hints)),
+                        access_mb,
+                        p.execute_mem_bound(),
+                    );
+                    any = true;
+                }
+                any.then_some(gov)
+            }
+            _ => None,
+        };
         for task in &tasks {
             let f = module.func(*task);
             let argv = argv_for(f, hints);
@@ -291,8 +408,12 @@ fn run_main() -> Result<(), String> {
             print!("{name:<20} CAE@fmax {:>9.3}us {:>9.3}uJ", r1.time_s * 1e6, r1.energy_j * 1e6);
             if let Some(access) = map.access(*task) {
                 let dae = vec![TaskInstance::decoupled(*task, access, argv)];
-                let r2 = run_workload(&module, &dae, &base.clone().with_policy(args.policy))
-                    .map_err(|e| e.to_string())?;
+                let run_cfg = base.clone().with_policy(args.policy);
+                let r2 = match seeded.as_mut() {
+                    Some(gov) => run_workload_governed(&module, &dae, &run_cfg, gov, &mut NullSink)
+                        .map_err(|e| e.to_string())?,
+                    None => run_workload(&module, &dae, &run_cfg).map_err(|e| e.to_string())?,
+                };
                 println!(
                     "   DAE {plabel} {:>9.3}us {:>9.3}uJ   EDP {:+.1}%",
                     r2.time_s * 1e6,

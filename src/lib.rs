@@ -22,6 +22,7 @@
 //! | [`sim`] | IR interpreter + OoO interval timing model |
 //! | [`runtime`] | task runtime: work stealing + per-phase DVFS |
 //! | [`governor`] | online profiling-guided per-phase DVFS governor |
+//! | [`pgo`] | persistent phase profiles + profile-guided refinement |
 //! | [`serve`] | concurrent compile-and-simulate network service (`daed`) |
 //! | [`gate`] | sharded, fault-tolerant gateway over a `daed` fleet (`daeg`) |
 //! | [`trace`] | event-level tracing: Perfetto/Chrome-trace + summary JSON |
@@ -65,6 +66,7 @@ pub use dae_gate as gate;
 pub use dae_governor as governor;
 pub use dae_ir as ir;
 pub use dae_mem as mem;
+pub use dae_pgo as pgo;
 pub use dae_poly as poly;
 pub use dae_power as power;
 pub use dae_runtime as runtime;

@@ -228,6 +228,53 @@ fn graceful_drain_finishes_admitted_work_then_refuses_new() {
 }
 
 #[test]
+fn background_recompile_hot_swap_is_client_invisible() {
+    let daemon = Daemon::spawn(&["--workers", "2", "--recompile-ms", "40"]);
+    let mut client = daemon.connect();
+    // A run request both exercises the pipeline and feeds the profile
+    // store the background worker recompiles from.
+    let frame = work_frame("hot", "run", STREAM);
+    let before = client.roundtrip(&frame);
+    assert_eq!(before, direct_reference(&frame), "pre-swap bytes match a direct run");
+
+    // Wait until the worker has completed at least one recompile pass
+    // over that profile (the `profiles` op exposes its counters).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let line = client.roundtrip(r#"{"id":"p","op":"profiles"}"#);
+        let v = parse(&line).expect("well-formed profiles response");
+        let result = v.get("result").expect("profiles response has a result");
+        assert_eq!(
+            result.get("schema").and_then(JsonValue::as_str),
+            Some("dae-serve-profiles/1"),
+            "{line}"
+        );
+        let completed = result
+            .get("recompiles")
+            .and_then(|r| r.get("completed"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        if completed >= 1.0 {
+            let records =
+                result.get("records").and_then(JsonValue::as_arr).map(|a| a.len()).unwrap_or(0);
+            assert!(records >= 1, "the run must have left a profile record: {line}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "recompile worker never completed a pass: {line}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // The swap must be invisible: the same request still answers with
+    // exactly the bytes a profile-less direct engine produces.
+    let after = client.roundtrip(&frame);
+    assert_eq!(after, before, "hot swap changed served bytes");
+    daemon.shutdown_and_wait();
+}
+
+#[test]
 fn overload_sheds_with_a_structured_error_instead_of_buffering() {
     let daemon = Daemon::spawn(&["--workers", "1", "--queue-depth", "1"]);
     let mut client = daemon.connect();

@@ -6,6 +6,8 @@
 //! a hang, or an unbounded allocation anywhere in `parse_request` or
 //! `Engine::handle` is a bug; these tests fuzz for one.
 
+use dae_repro::ir::CodedError;
+use dae_repro::pgo::{PhaseAgg, PhaseProfile, ProfileStore};
 use dae_repro::serve::proto::parse_request;
 use dae_repro::serve::{codes, Engine, EngineConfig, Request, MAX_FRAME_BYTES};
 use dae_repro::trace::json::JsonValue;
@@ -147,6 +149,102 @@ proptest! {
             }
         }
     }
+}
+
+/// A well-formed two-record profile document, as `daec --profile-out`
+/// would write it — the seed for the mutation fuzzers below.
+fn valid_profile_document() -> String {
+    let agg = PhaseAgg {
+        instrs: 4096,
+        loads: 1024,
+        dram_misses: 128,
+        prefetches: 512,
+        prefetch_dram_lines: 64,
+        branches: 256,
+        mlp_x100_sum: 300,
+        mem_bound_ppm_sum: 500_000,
+    };
+    let profile = PhaseProfile { runs: 3, access: agg, execute: agg };
+    let mut store = ProfileStore::new();
+    store.merge_record(0x00ab_cdef_0123_4567, &profile);
+    store.merge_record(0xfeed_f00d_dead_beef, &profile);
+    store.document_json().to_json_string()
+}
+
+/// Feeds one profile document through the same path as
+/// `daec --profile-in`: either it merges (malformed records silently
+/// skipped) or it fails with a dotted `pgo.*` code — never a panic.
+fn feed_profile(text: &str) {
+    let mut store = ProfileStore::new();
+    match store.merge_document(text) {
+        Ok(()) => {
+            // Whatever merged must re-serialise and re-merge cleanly.
+            let doc = store.document_json().to_json_string();
+            ProfileStore::new().merge_document(&doc).expect("own output re-merges");
+        }
+        Err(e) => assert_structured(e.code()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw garbage as a profile file: answered, never panics.
+    #[test]
+    fn profile_byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        feed_profile(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Truncating a valid profile document models a writer dying
+    /// mid-save (the atomic writer prevents this on our side, but a
+    /// hand-edited or foreign file can still arrive torn).
+    #[test]
+    fn truncated_profile_documents_fail_structurally(cut in 0usize..700) {
+        let doc = valid_profile_document();
+        let mut end = cut.min(doc.len());
+        while !doc.is_char_boundary(end) {
+            end -= 1;
+        }
+        feed_profile(&doc[..end]);
+    }
+
+    /// Mutating one byte of a valid document: record-level corruption is
+    /// skipped silently, document-level corruption is a dotted error,
+    /// and nothing in between panics.
+    #[test]
+    fn single_byte_profile_mutations_never_panic(pos in 0usize..700, byte in 0u8..127) {
+        let mut doc = valid_profile_document().into_bytes();
+        let pos = pos % doc.len();
+        doc[pos] = byte;
+        // The document is pure ASCII and so is the new byte.
+        feed_profile(&String::from_utf8(doc).expect("ascii stays ascii"));
+    }
+}
+
+#[test]
+fn hostile_profile_documents_get_dotted_codes() {
+    let mut store = ProfileStore::new();
+    let e = store.merge_document("not json at all").expect_err("refused");
+    assert_eq!(e.code(), dae_repro::pgo::codes::PARSE);
+
+    let e = store
+        .merge_document(r#"{"schema":"dae-pgo-profile/99","records":[]}"#)
+        .expect_err("wrong schema refused");
+    assert_eq!(e.code(), dae_repro::pgo::codes::SCHEMA);
+
+    let e = store.merge_document(r#"{"records":[]}"#).expect_err("missing schema refused");
+    assert_eq!(e.code(), dae_repro::pgo::codes::SCHEMA);
+}
+
+#[test]
+fn malformed_records_are_skipped_not_fatal() {
+    // One garbage record sandwiched between nothing: the document is
+    // valid, so the merge succeeds and counts the skip.
+    let doc = r#"{"schema":"dae-pgo-profile/1","records":[{"key":"xyzzy"},42,null]}"#;
+    let mut store = ProfileStore::new();
+    store.merge_document(doc).expect("document-level shape is fine");
+    assert!(store.is_empty(), "garbage records must not materialise");
+    assert!(store.stats().skipped_records >= 3, "every bad record is counted");
 }
 
 #[test]
